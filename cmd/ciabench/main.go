@@ -1,0 +1,227 @@
+// Command ciabench reproduces the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	ciabench -exp table2            # one experiment
+//	ciabench -exp all               # every table and figure
+//	ciabench -exp fig5 -seed 7      # different seed
+//	ciabench -exp table2 -paper     # full paper-scale sizes (slow)
+//	ciabench -list                  # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/collablearn/ciarec/internal/experiments"
+)
+
+type runner func(spec experiments.Spec) (string, error)
+
+var runners = map[string]runner{
+	"table2": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable2(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRows("Table II: CIA on FedRecs", rows), nil
+	},
+	"table3": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable3(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRows("Table III: CIA on GossipRecs", rows), nil
+	},
+	"table4": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable4(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRows("Table IV: collusion in Rand-Gossip (GMF, MovieLens-like)", rows), nil
+	},
+	"table5": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable5(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRows("Table V: collusion under Share-less", rows), nil
+	},
+	"table6": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable6(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRows("Table VI: momentum ablation under collusion", rows), nil
+	},
+	"table7": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunTable7(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable7(rows), nil
+	},
+	"table8": func(spec experiments.Spec) (string, error) {
+		res, err := experiments.RunTable8(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable8(res), nil
+	},
+	"table9": func(spec experiments.Spec) (string, error) {
+		res, err := experiments.RunTable9(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable9(res), nil
+	},
+	"fig1": func(spec experiments.Spec) (string, error) {
+		res, err := experiments.RunFigure1(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure1(res), nil
+	},
+	"fig3": func(spec experiments.Spec) (string, error) {
+		points, err := experiments.RunFigure3(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTradeoff("Figure 3: GMF privacy/utility trade-off", "HR", points), nil
+	},
+	"fig4": func(spec experiments.Spec) (string, error) {
+		points, err := experiments.RunFigure4(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTradeoff("Figure 4: PRME privacy/utility trade-off", "F1", points), nil
+	},
+	"fig5": func(spec experiments.Spec) (string, error) {
+		points, err := experiments.RunFigure5(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure5(points), nil
+	},
+	"sec8e": func(spec experiments.Spec) (string, error) {
+		res, err := experiments.RunUniversality(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderUniversality(res), nil
+	},
+	"sec8c2": func(spec experiments.Spec) (string, error) {
+		res, err := experiments.RunAIAComparison(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAIAComparison(res), nil
+	},
+	"ablation-secureagg": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunSecureAggAblation(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderSecureAggAblation(rows), nil
+	},
+	"ablation-staticgraph": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunStaticGraphAblation(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderStaticGraphAblation(rows), nil
+	},
+	"ablation-fictive": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunFictiveAblation(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFictiveAblation(rows), nil
+	},
+	"ablation-relevance": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunRelevanceAblation(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRelevanceAblation(rows), nil
+	},
+	"ablation-participation": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunParticipationAblation(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderParticipationAblation(rows), nil
+	},
+	"ext-modelfamily": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunModelFamilyStudy(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderModelFamilyStudy(rows), nil
+	},
+	"ext-sparsify": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunSparsifyStudy(spec)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderSparsifyStudy(rows), nil
+	},
+}
+
+func experimentIDs() []string {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		paper  = flag.Bool("paper", false, "paper-scale datasets and rounds (slow, memory-hungry)")
+		seed   = flag.Uint64("seed", 1, "master seed")
+		rounds = flag.Int("rounds", 0, "override FL round count")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experimentIDs(), "\n"))
+		return
+	}
+	spec := experiments.BenchSpec()
+	if *paper {
+		spec = experiments.PaperSpec()
+	}
+	spec.Seed = *seed
+	if *rounds > 0 {
+		spec.Rounds = *rounds
+	}
+
+	ids := experimentIDs()
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "ciabench: unknown experiment %q; available: %s\n",
+				*exp, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := runners[id](spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,53 @@
+// Defense comparison (§VII, Figures 3 and 5).
+//
+// Two mitigations are evaluated against CIA on a federated GMF
+// recommender: the Share-less policy (keep user embeddings private,
+// regularize item drift) and user-level DP-SGD across privacy budgets.
+// The output is the privacy/utility frontier the paper argues about:
+// Share-less trades a little utility for a real accuracy drop, while
+// DP-SGD destroys utility before it provides meaningful protection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	ciarec "github.com/collablearn/ciarec"
+)
+
+func main() {
+	data := ciarec.MovieLensLike(0.15, 23)
+	data.SplitLeaveOneOut()
+	fmt.Println("dataset:", data.Stats())
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s\n", "defense", "MaxAAC", "HR@10")
+
+	const rounds = 25
+	run := func(label string, d ciarec.Defense) {
+		report, err := ciarec.Run(ciarec.RunConfig{
+			Dataset:      data,
+			Protocol:     ciarec.Federated,
+			Defense:      d,
+			Rounds:       rounds,
+			TrackUtility: true,
+			Seed:         23,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %9.1f%% %10.3f\n", label, 100*report.MaxAAC, report.BestUtility())
+	}
+
+	run("none (full sharing)", ciarec.NoDefense())
+	run("share-less (tau=5)", ciarec.ShareLess(5))
+	for _, eps := range []float64{math.Inf(1), 1000, 100, 10, 1} {
+		label := fmt.Sprintf("dp-sgd (eps=%g)", eps)
+		if math.IsInf(eps, 1) {
+			label = "dp-sgd (eps=inf, clip only)"
+		}
+		run(label, ciarec.DPSGDWithEpsilon(2, eps, 1e-6, rounds))
+	}
+	fmt.Println("\nShare-less cuts attack accuracy at a modest utility cost; DP-SGD")
+	fmt.Println("needs ruinous noise before the attack approaches the random bound.")
+}

@@ -1,0 +1,59 @@
+// Health community inference — the paper's motivating example (§II,
+// Figure 1).
+//
+// A point-of-interest recommender is trained with Federated Learning
+// on Foursquare-like check-ins. The adversary (the server) crafts a
+// target item set from the *public* POI catalogue — the most popular
+// "Health & Medicine" venues — and runs CIA to identify the users who
+// visit health venues most. No private data is read: only the models
+// users upload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ciarec "github.com/collablearn/ciarec"
+)
+
+func main() {
+	data := ciarec.FoursquareLike(0.12, 7)
+	data.SplitLeaveOneOut()
+	fmt.Println("dataset:", data.Stats())
+
+	health := data.CategoryID(ciarec.HealthCategory)
+	healthItems := data.ItemsInCategory(health)
+	fmt.Printf("catalogue: %d %q POIs (public information)\n",
+		len(healthItems), ciarec.HealthCategory)
+	fmt.Printf("baseline: %.1f%% of all check-ins are health venues\n\n",
+		100*data.GlobalCategoryShare(health))
+
+	// The adversary targets the 40 most plausible health venues. In a
+	// real deployment popularity is public too (ratings counts, map
+	// rankings); here we approximate it with the first items returned.
+	target := healthItems
+	if len(target) > 40 {
+		target = target[:40]
+	}
+
+	members, err := ciarec.RunTargeted(ciarec.TargetedConfig{
+		Dataset:       data,
+		Target:        target,
+		CommunitySize: 3, // the paper extracts a 3-community
+		Rounds:        25,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.Ints(members)
+	fmt.Printf("inferred 3-community of health-vulnerable users: %v\n", members)
+	for _, u := range members {
+		fmt.Printf("  user %3d: %.0f%% of their check-ins are health venues\n",
+			u, 100*data.CategoryShare(u, health))
+	}
+	fmt.Println("\nEvery member is far above the population baseline — the kind of")
+	fmt.Println("signal an insurer or advertiser could exploit (§II).")
+}

@@ -1,0 +1,39 @@
+// Quickstart: train a federated recommender on a synthetic dataset
+// with planted taste communities and measure how well a curious server
+// can recover those communities with the Community Inference Attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ciarec "github.com/collablearn/ciarec"
+)
+
+func main() {
+	// A MovieLens-shaped dataset at 15% scale: ~141 users, ~252 items,
+	// with latent communities of shared taste.
+	data := ciarec.MovieLensLike(0.15, 42)
+	data.SplitLeaveOneOut()
+	fmt.Println("dataset:", data.Stats())
+
+	report, err := ciarec.Run(ciarec.RunConfig{
+		Dataset:      data,
+		Model:        ciarec.GMF,
+		Protocol:     ciarec.Federated,
+		Rounds:       25,
+		TrackUtility: true,
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("attack:  Max AAC %.1f%% at round %d (best-10%% adversaries reach %.1f%%)\n",
+		100*report.MaxAAC, report.MaxRound, 100*report.Best10AAC)
+	fmt.Printf("bounds:  random guessing %.1f%%, observation ceiling %.1f%%\n",
+		100*report.RandomBound, 100*report.UpperBound)
+	fmt.Printf("leakage: the adversary is %.1fx better than guessing\n", report.LeakageFactor())
+	fmt.Printf("utility: best HR@10 %.3f — the federation still learned to recommend\n",
+		report.BestUtility())
+}

@@ -1,0 +1,38 @@
+// Universality of CIA (§VIII-E).
+//
+// The attack is not recommender-specific: any federation whose clients
+// have non-iid data distributions leaks community structure. Here 100
+// clients each hold samples of a single class of a synthetic
+// image-like dataset and train a one-hidden-layer MLP; the server runs
+// the *same* CIA implementation used against recommenders and recovers
+// the class communities essentially perfectly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ciarec "github.com/collablearn/ciarec"
+)
+
+func main() {
+	report, err := ciarec.RunUniversality(ciarec.UniversalityConfig{
+		Clients:          100,
+		Classes:          10,
+		Dim:              32,
+		SamplesPerClient: 40,
+		Rounds:           25,
+		HiddenUnits:      100, // the paper's MLP width
+		Seed:             3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global model accuracy: %.1f%% (the federation learns the task)\n",
+		100*report.GlobalAccuracy)
+	fmt.Printf("CIA community recovery: %.1f%% (random guessing: %.1f%%)\n",
+		100*report.CIAAccuracy, 100*report.RandomBound)
+	fmt.Println("\nClients sharing a data distribution form a community the server")
+	fmt.Println("can read off the model exchanges — recommenders are just the")
+	fmt.Println("most intuitive instance (paper: 100% recovery vs 10% random).")
+}

@@ -1,0 +1,113 @@
+package ciarec
+
+import (
+	"testing"
+)
+
+// End-to-end determinism through the public API: identical
+// configuration and seed must produce bit-identical reports across the
+// full pipeline (generation, training, protocol, attack, metrics).
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() *Report {
+		d, err := Generate(GenerateConfig{
+			Name: "det", NumUsers: 60, NumItems: 150,
+			NumCommunities: 3, MeanItemsPerUser: 20, Affinity: 0.9, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SplitLeaveOneOut()
+		report, err := Run(RunConfig{
+			Dataset:      d,
+			Protocol:     RandGossip,
+			Rounds:       15,
+			TrackUtility: true,
+			Seed:         12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(), run()
+	if a.MaxAAC != b.MaxAAC || a.Best10AAC != b.Best10AAC || a.UpperBound != b.UpperBound {
+		t.Fatalf("non-deterministic reports: %+v vs %+v", a, b)
+	}
+	for i := range a.AACSeries {
+		if a.AACSeries[i] != b.AACSeries[i] {
+			t.Fatalf("AAC series diverged at round %d", i)
+		}
+	}
+	for i := range a.UtilitySeries {
+		if a.UtilitySeries[i] != b.UtilitySeries[i] {
+			t.Fatalf("utility series diverged at round %d", i)
+		}
+	}
+}
+
+// The paper's central comparison through the public API: on the same
+// data, the FL server out-attacks a single gossip adversary, and both
+// defenses change the picture in the documented directions.
+func TestIntegrationProtocolOrdering(t *testing.T) {
+	d, err := Generate(GenerateConfig{
+		Name: "ordering", NumUsers: 80, NumItems: 200,
+		NumCommunities: 4, MeanItemsPerUser: 25, Affinity: 0.9, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SplitLeaveOneOut()
+
+	fl, err := Run(RunConfig{Dataset: d, Rounds: 15, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := Run(RunConfig{Dataset: d, Protocol: RandGossip, Rounds: 30, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flDefended, err := Run(RunConfig{Dataset: d, Defense: ShareLess(5), Rounds: 15, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fl.MaxAAC <= gl.MaxAAC {
+		t.Fatalf("FL (%.3f) must leak more than gossip (%.3f)", fl.MaxAAC, gl.MaxAAC)
+	}
+	if fl.MaxAAC <= 2*fl.RandomBound {
+		t.Fatalf("FL attack too weak: %.3f vs random %.3f", fl.MaxAAC, fl.RandomBound)
+	}
+	if flDefended.MaxAAC >= fl.MaxAAC {
+		t.Fatalf("share-less (%.3f) must reduce FL leakage (%.3f)", flDefended.MaxAAC, fl.MaxAAC)
+	}
+}
+
+// DP-SGD with a tight budget must crush utility relative to the
+// undefended run (the paper's Figure-5 story) — via the public API.
+func TestIntegrationDPUtilityCollapse(t *testing.T) {
+	d, err := Generate(GenerateConfig{
+		Name: "dp", NumUsers: 60, NumItems: 150,
+		NumCommunities: 3, MeanItemsPerUser: 20, Affinity: 0.9, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SplitLeaveOneOut()
+
+	const rounds = 15
+	free, err := Run(RunConfig{Dataset: d, Rounds: rounds, TrackUtility: true, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Run(RunConfig{
+		Dataset: d, Rounds: rounds, TrackUtility: true, Seed: 32,
+		Defense: DPSGDWithEpsilon(2, 1, 1e-6, rounds),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.BestUtility() >= free.BestUtility() {
+		t.Fatalf("eps=1 DP-SGD should hurt utility: %.3f vs %.3f",
+			noisy.BestUtility(), free.BestUtility())
+	}
+}

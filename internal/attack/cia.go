@@ -1,0 +1,200 @@
+// Package attack implements the paper's Community Inference Attack
+// (CIA, §IV) and the two proxy attacks it is compared against: an
+// entropy-based membership inference attack (MIA, §VIII-C1) and a
+// gradient-classifier attribute inference attack (AIA, §VIII-C2).
+//
+// CIA is deliberately protocol-agnostic: it consumes (sender, payload)
+// observations — the models an honest-but-curious adversary receives —
+// and maintains per-sender momentum-averaged models (Eq. 4) that it
+// ranks by the relevance score they assign to the target item sets
+// (Eq. 3). The same implementation serves the FL server adversary
+// (Alg. 1), a single gossip node (Alg. 2), and a colluding coalition
+// (one CIA instance fed by every colluder's observations, which is
+// exactly the Alg. 2 line-14 multicast).
+package attack
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/collablearn/ciarec/internal/evalx"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Evaluator scores a loaded model state against registered targets.
+// Implementations are not safe for concurrent use; CIA serializes
+// calls per evaluator and uses NewEval for parallel scoring.
+type Evaluator interface {
+	// Load installs a (momentum-averaged) model state for scoring.
+	Load(state *param.Set)
+	// Score returns the relevance Ŷ of the loaded state, attributed to
+	// sender, for registered target index t. Higher = more relevant.
+	Score(sender, t int) float64
+	// NumTargets returns the number of registered targets.
+	NumTargets() int
+}
+
+// Config parameterizes one CIA instance.
+type Config struct {
+	// Beta is the momentum coefficient β of Eq. 4 (paper default 0.99;
+	// 0 disables momentum, the Table-VI ablation).
+	Beta float64
+	// K is the inferred community size.
+	K int
+	// NumUsers is the number of protocol participants.
+	NumUsers int
+	// Eval scores momentum states (required).
+	Eval Evaluator
+	// NewEval optionally supplies extra evaluators for parallel
+	// scoring; Workers > 1 requires it.
+	NewEval func() Evaluator
+	// Workers bounds scoring concurrency (default 1, serial).
+	Workers int
+}
+
+// CIA is one adversary instance (or coalition).
+type CIA struct {
+	cfg     Config
+	states  map[int]*param.Set // sender → momentum state v_u
+	scores  [][]float64        // [target][sender]
+	hasSeen []bool             // sender observed at least once
+	dirty   map[int]struct{}   // senders whose state changed since last EndRound
+}
+
+// New builds a CIA instance. It panics on an invalid configuration
+// (attacks are constructed by experiments; misconfiguration is a bug).
+func New(cfg Config) *CIA {
+	if cfg.Eval == nil {
+		panic("attack: Config.Eval is required")
+	}
+	if cfg.K <= 0 || cfg.NumUsers <= 0 {
+		panic(fmt.Sprintf("attack: invalid K=%d NumUsers=%d", cfg.K, cfg.NumUsers))
+	}
+	if cfg.Beta < 0 || cfg.Beta >= 1 {
+		panic(fmt.Sprintf("attack: Beta %v out of [0,1)", cfg.Beta))
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > 1 && cfg.NewEval == nil {
+		panic("attack: Workers > 1 requires NewEval")
+	}
+	nt := cfg.Eval.NumTargets()
+	scores := make([][]float64, nt)
+	for t := range scores {
+		scores[t] = make([]float64, cfg.NumUsers)
+	}
+	return &CIA{
+		cfg:     cfg,
+		states:  make(map[int]*param.Set),
+		scores:  scores,
+		hasSeen: make([]bool, cfg.NumUsers),
+		dirty:   make(map[int]struct{}),
+	}
+}
+
+// Observe folds a received model payload into the sender's momentum
+// state (Alg. 1/2 lines 7-11): v_u ← β·v_u + (1-β)·Θ_u, with v_u
+// initialized to the first observation.
+func (c *CIA) Observe(sender int, payload *param.Set) {
+	st, ok := c.states[sender]
+	if !ok {
+		c.states[sender] = payload.Clone()
+	} else {
+		st.Lerp(c.cfg.Beta, payload)
+	}
+	c.hasSeen[sender] = true
+	c.dirty[sender] = struct{}{}
+}
+
+// EndRound re-scores every sender whose momentum state changed since
+// the previous call (Alg. 1/2 line 12). Call once per protocol round
+// before reading predictions.
+func (c *CIA) EndRound() {
+	if len(c.dirty) == 0 {
+		return
+	}
+	senders := make([]int, 0, len(c.dirty))
+	for s := range c.dirty {
+		senders = append(senders, s)
+	}
+	clear(c.dirty)
+
+	if c.cfg.Workers == 1 || len(senders) < 2*c.cfg.Workers {
+		c.scoreSenders(c.cfg.Eval, senders)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(senders) + c.cfg.Workers - 1) / c.cfg.Workers
+	for w := 0; w < c.cfg.Workers; w++ {
+		lo := w * chunk
+		if lo >= len(senders) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(senders) {
+			hi = len(senders)
+		}
+		ev := c.cfg.Eval
+		if w > 0 {
+			ev = c.cfg.NewEval()
+		}
+		wg.Add(1)
+		go func(ev Evaluator, part []int) {
+			defer wg.Done()
+			c.scoreSenders(ev, part)
+		}(ev, senders[lo:hi])
+	}
+	wg.Wait()
+}
+
+func (c *CIA) scoreSenders(ev Evaluator, senders []int) {
+	for _, s := range senders {
+		ev.Load(c.states[s])
+		for t := range c.scores {
+			c.scores[t][s] = ev.Score(s, t)
+		}
+	}
+}
+
+// Predict returns the current inferred community Ĉ for target t: the K
+// observed senders with the highest relevance scores (Eq. 3; Alg. 1/2
+// AddSorted + Slice).
+func (c *CIA) Predict(t int) []int {
+	ranked := evalx.SortedByScoreDesc(c.scores[t], c.hasSeen)
+	if len(ranked) > c.cfg.K {
+		ranked = ranked[:c.cfg.K]
+	}
+	return ranked
+}
+
+// Accuracies returns Accuracy@R (Eq. 6) for every target against the
+// provided ground-truth communities (truths[t] for target t).
+func (c *CIA) Accuracies(truths []map[int]struct{}) []float64 {
+	if len(truths) != len(c.scores) {
+		panic(fmt.Sprintf("attack: %d truths for %d targets", len(truths), len(c.scores)))
+	}
+	out := make([]float64, len(truths))
+	for t := range truths {
+		out[t] = evalx.Accuracy(c.Predict(t), truths[t])
+	}
+	return out
+}
+
+// Seen returns the set of senders observed so far (the input to the
+// accuracy upper bound of §V-C).
+func (c *CIA) Seen() map[int]struct{} {
+	out := make(map[int]struct{}, len(c.states))
+	for s := range c.states {
+		out[s] = struct{}{}
+	}
+	return out
+}
+
+// NumObserved returns how many distinct senders have been observed.
+func (c *CIA) NumObserved() int { return len(c.states) }
+
+// State returns the momentum state for a sender (nil if never
+// observed). Exposed for colluder forwarding and tests; callers must
+// not mutate the returned set.
+func (c *CIA) State(sender int) *param.Set { return c.states[sender] }

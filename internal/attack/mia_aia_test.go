@@ -1,0 +1,200 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/evalx"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+func TestMIAValidation(t *testing.T) {
+	d := attackDataset(t)
+	scratch := model.NewGMF(d.NumUsers, d.NumItems, 8, 0)
+	for name, f := range map[string]func(){
+		"bad rho":    func() { NewMIA(0, 5, scratch, [][]int{{0}}, d) },
+		"bad k":      func() { NewMIA(0.5, 0, scratch, [][]int{{0}}, d) },
+		"no targets": func() { NewMIA(0.5, 5, scratch, nil, d) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMIADetectsCommunitiesAboveRandom(t *testing.T) {
+	d := attackDataset(t)
+	payloads := trainedModels(t, d, 12)
+	const k = 8
+	mia := NewMIA(0.6, k, model.NewGMF(d.NumUsers, d.NumItems, 8, 0), allTargets(d), d)
+	mia.Guarded = true
+	for u, p := range payloads {
+		mia.Observe(u, p)
+	}
+	truths := evalx.TrueCommunities(d, k)
+	mean := mathx.Mean(mia.Accuracies(truths))
+	random := evalx.RandomBound(k, d.NumUsers)
+	// The guarded MIA proxy is the stronger variant; above random with
+	// a modest margin is the bar.
+	if mean < 1.3*random {
+		t.Fatalf("MIA proxy accuracy %.3f not above random %.3f", mean, random)
+	}
+}
+
+// The unguarded (paper-faithful) entropy threshold also fires on
+// confidently-rejected items; the guarded variant must dominate it.
+func TestGuardedMIABeatsUnguarded(t *testing.T) {
+	d := attackDataset(t)
+	payloads := trainedModels(t, d, 12)
+	const k = 8
+	plain := NewMIA(0.6, k, model.NewGMF(d.NumUsers, d.NumItems, 8, 0), allTargets(d), d)
+	guarded := NewMIA(0.6, k, model.NewGMF(d.NumUsers, d.NumItems, 8, 0), allTargets(d), d)
+	guarded.Guarded = true
+	for u, p := range payloads {
+		plain.Observe(u, p)
+		guarded.Observe(u, p)
+	}
+	truths := evalx.TrueCommunities(d, k)
+	if mathx.Mean(guarded.Accuracies(truths)) < mathx.Mean(plain.Accuracies(truths)) {
+		t.Fatal("guard should not weaken the MIA proxy")
+	}
+}
+
+// The paper's Table VIII finding: CIA beats the MIA proxy on the same
+// observations.
+func TestCIABeatsMIAProxy(t *testing.T) {
+	d := attackDataset(t)
+	payloads := trainedModels(t, d, 12)
+	const k = 8
+	targets := allTargets(d)
+	truths := evalx.TrueCommunities(d, k)
+
+	cia := New(Config{
+		Beta: 0.9, K: k, NumUsers: d.NumUsers,
+		Eval: NewRecommenderEval(model.NewGMF(d.NumUsers, d.NumItems, 8, 0), targets),
+	})
+	mia := NewMIA(0.6, k, model.NewGMF(d.NumUsers, d.NumItems, 8, 0), targets, d)
+	for u, p := range payloads {
+		cia.Observe(u, p)
+		mia.Observe(u, p)
+	}
+	cia.EndRound()
+	ciaAcc := mathx.Mean(cia.Accuracies(truths))
+	miaAcc := mathx.Mean(mia.Accuracies(truths))
+	if ciaAcc <= miaAcc {
+		t.Fatalf("CIA (%.3f) did not beat MIA proxy (%.3f)", ciaAcc, miaAcc)
+	}
+}
+
+func TestMIAPrecisionBookkeeping(t *testing.T) {
+	d := attackDataset(t)
+	payloads := trainedModels(t, d, 12)
+	mia := NewMIA(0.6, 8, model.NewGMF(d.NumUsers, d.NumItems, 8, 0), allTargets(d), d)
+	if mia.Precision() != 0 {
+		t.Fatal("precision before any observation must be 0")
+	}
+	for u, p := range payloads {
+		mia.Observe(u, p)
+	}
+	prec := mia.Precision()
+	if prec < 0 || prec > 1 {
+		t.Fatalf("precision out of range: %v", prec)
+	}
+}
+
+func TestAIAConfigErrors(t *testing.T) {
+	d := attackDataset(t)
+	g := model.NewGMF(d.NumUsers, d.NumItems, 8, 0)
+	r := mathx.NewRand(1)
+	cases := []AIAConfig{
+		{Target: []int{1}, K: 5},          // no Rand
+		{Target: nil, K: 5, Rand: r},      // no target
+		{Target: []int{1}, K: 0, Rand: r}, // bad K
+	}
+	for i, cfg := range cases {
+		if _, err := TrainAIA(g, d, cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestAIADetectsCommunityAboveRandom(t *testing.T) {
+	d := attackDataset(t)
+	// Warm up a shared global model so item embeddings carry signal.
+	global := model.NewGMF(d.NumUsers, d.NumItems, 8, 0)
+	r := mathx.NewRand(2)
+	for e := 0; e < 6; e++ {
+		for u := 0; u < d.NumUsers; u++ {
+			global.TrainLocal(d, u, model.TrainOptions{Rand: r})
+		}
+	}
+	const k = 8
+	targetUser := 0
+	target := d.Train[targetUser]
+	truth := evalx.TrueCommunity(d, target, k)
+
+	aia, err := TrainAIA(global, d, AIAConfig{
+		Target: target, K: k, Members: 15, NonMembers: 15,
+		ClassifierEpochs: 25, Rand: mathx.NewRand(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate one FL round of uploads from the warm global model.
+	for u := 0; u < d.NumUsers; u++ {
+		local := global.Clone()
+		local.TrainLocal(d, u, model.TrainOptions{Rand: r})
+		aia.Observe(u, local.Params().Clone())
+	}
+	acc := aia.Accuracy(truth)
+	random := evalx.RandomBound(k, d.NumUsers)
+	if acc < random {
+		t.Fatalf("AIA accuracy %.3f below random %.3f", acc, random)
+	}
+	if got := len(aia.Predict()); got != k {
+		t.Fatalf("Predict size %d, want %d", got, k)
+	}
+}
+
+func TestAIAIgnoresPayloadsWithoutItemEntry(t *testing.T) {
+	d := attackDataset(t)
+	g := model.NewGMF(d.NumUsers, d.NumItems, 8, 0)
+	aia, err := TrainAIA(g, d, AIAConfig{
+		Target: d.Train[0], K: 5, Members: 4, NonMembers: 4,
+		ClassifierEpochs: 2, Rand: mathx.NewRand(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := g.Params().Filter(model.GMFBias)
+	aia.Observe(3, empty)
+	if len(aia.Predict()) != 0 {
+		t.Fatal("AIA scored a payload without item embeddings")
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	// With paper-like magnitudes, AIA must be the most expensive and
+	// CIA at most as costly as MIA when |V_target| <= Dmax (§VIII-D).
+	cm := CostModel{
+		Users: 943, TargetSize: 100, DMax: 500,
+		TrainModel: 1e6, InferModel: 10,
+		TrainClassifier: 2e6, InferClassifier: 10,
+		FictiveUsers: 40,
+	}
+	cia, mia, aia := cm.CIACost(), cm.MIACost(), cm.AIACost()
+	if cia > mia {
+		t.Fatalf("CIA cost %v exceeds MIA %v despite |Vt| <= Dmax", cia, mia)
+	}
+	if aia < cia || aia < mia {
+		t.Fatalf("AIA (%v) should dominate CIA (%v) and MIA (%v)", aia, cia, mia)
+	}
+	if cm.Table() == "" {
+		t.Fatal("empty cost table")
+	}
+}

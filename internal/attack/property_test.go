@@ -1,0 +1,111 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/collablearn/ciarec/internal/evalx"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Property: CIA predictions only ever contain observed senders, and
+// accuracy never exceeds the observation upper bound.
+func TestCIAPredictionWithinObservationsProperty(t *testing.T) {
+	f := func(seed uint64, observedMask uint16) bool {
+		const n = 16
+		const k = 4
+		ev := &stubEval{targets: 1}
+		cia := New(Config{Beta: 0.5, K: k, NumUsers: n, Eval: ev})
+		r := mathx.NewRand(seed)
+		for u := 0; u < n; u++ {
+			if observedMask&(1<<u) == 0 {
+				continue
+			}
+			s := param.New()
+			s.AddVector("x", []float64{r.Float64()})
+			cia.Observe(u, s)
+		}
+		cia.EndRound()
+		pred := cia.Predict(0)
+		seen := cia.Seen()
+		for _, u := range pred {
+			if _, ok := seen[u]; !ok {
+				return false
+			}
+		}
+		// Random ground truth of size k.
+		truth := map[int]struct{}{}
+		for _, u := range mathx.SampleWithoutReplacement(r, n, k) {
+			truth[u] = struct{}{}
+		}
+		acc := evalx.Accuracy(pred, truth)
+		bound := evalx.UpperBound(seen, truth)
+		return acc <= bound+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with beta = 0 the momentum state always equals the most
+// recent observation exactly, for any observation sequence.
+func TestCIAZeroBetaIsLatestProperty(t *testing.T) {
+	f := func(values []float64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		ev := &stubEval{targets: 1}
+		cia := New(Config{Beta: 0, K: 1, NumUsers: 1, Eval: ev})
+		var last float64
+		for _, v := range values {
+			s := param.New()
+			s.AddVector("x", []float64{v})
+			cia.Observe(0, s)
+			last = v
+		}
+		return cia.State(0).Get("x")[0] == last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the momentum state is always a convex combination of the
+// observations — it stays within [min, max] of everything observed.
+func TestCIAMomentumConvexityProperty(t *testing.T) {
+	f := func(values []float64, betaRaw float64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		beta := 0.5 * (1 + mathx.Sigmoid(betaRaw)) // (0.5, 1)
+		if beta >= 1 {
+			beta = 0.99
+		}
+		for i, v := range values {
+			if v != v || v > 1e100 || v < -1e100 { // NaN/huge guards
+				values[i] = 0
+			}
+		}
+		ev := &stubEval{targets: 1}
+		cia := New(Config{Beta: beta, K: 1, NumUsers: 1, Eval: ev})
+		lo, hi := values[0], values[0]
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			s := param.New()
+			s.AddVector("x", []float64{v})
+			cia.Observe(0, s)
+		}
+		got := cia.State(0).Get("x")[0]
+		span := hi - lo
+		return got >= lo-1e-9*(span+1) && got <= hi+1e-9*(span+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package classify
+
+import (
+	"github.com/collablearn/ciarec/internal/attack"
+	"github.com/collablearn/ciarec/internal/evalx"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+// newMLPCIA wires the generic CIA implementation to an MLP evaluator.
+func newMLPCIA(beta float64, k, numUsers int, sizes []int, data *Data) *attack.CIA {
+	return attack.New(attack.Config{
+		Beta:     beta,
+		K:        k,
+		NumUsers: numUsers,
+		Eval:     &mlpEval{scratch: model.NewMLP(sizes, false, 0), data: data},
+	})
+}
+
+// mathxAccuracy aliases evalx.Accuracy to keep classify.go free of a
+// second evalx import site.
+func mathxAccuracy(pred []int, truth map[int]struct{}) float64 {
+	return evalx.Accuracy(pred, truth)
+}

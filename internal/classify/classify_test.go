@@ -1,0 +1,97 @@
+package classify
+
+import "testing"
+
+func TestGenerateShapes(t *testing.T) {
+	d, err := Generate(GenConfig{NumClients: 20, NumClasses: 5, Dim: 8, SamplesPerClient: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ClientX) != 20 || len(d.ClientY) != 20 {
+		t.Fatal("client partition wrong")
+	}
+	for u := range d.ClientX {
+		if len(d.ClientX[u]) != 10 {
+			t.Fatalf("client %d has %d samples", u, len(d.ClientX[u]))
+		}
+		for i, y := range d.ClientY[u] {
+			if y != d.ClientClass[u] {
+				t.Fatalf("client %d sample %d label %d != class %d", u, i, y, d.ClientClass[u])
+			}
+		}
+	}
+	if len(d.TargetX) != 5 {
+		t.Fatal("missing target sets")
+	}
+	if len(d.TestX) != len(d.TestY) || len(d.TestX) == 0 {
+		t.Fatal("missing test set")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{NumClients: 3, NumClasses: 10}); err == nil {
+		t.Fatal("expected error when clients < classes")
+	}
+}
+
+func TestCommunityPartition(t *testing.T) {
+	d, err := Generate(GenConfig{NumClients: 20, NumClasses: 5, Dim: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < 5; c++ {
+		com := d.Community(c)
+		if len(com) != 4 {
+			t.Fatalf("class %d community size %d, want 4", c, len(com))
+		}
+		total += len(com)
+	}
+	if total != 20 {
+		t.Fatal("communities do not partition clients")
+	}
+}
+
+// The §VIII-E headline: CIA finds every class community in a non-iid
+// federation (paper: 100% vs 10% random), and the global model still
+// learns the task.
+func TestRunUniversality(t *testing.T) {
+	res, err := RunUniversality(RunConfig{
+		Gen:    GenConfig{NumClients: 30, NumClasses: 5, Dim: 16, SamplesPerClient: 20, Seed: 3},
+		Rounds: 15,
+		Hidden: 32,
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalAccuracy < 0.8 {
+		t.Fatalf("global accuracy %.3f; federation failed to learn", res.GlobalAccuracy)
+	}
+	if res.CIAAccuracy < 0.9 {
+		t.Fatalf("CIA accuracy %.3f, want ~1 (paper reports 100%%)", res.CIAAccuracy)
+	}
+	if res.RandomBound != 0.2 {
+		t.Fatalf("random bound %.3f, want 0.2", res.RandomBound)
+	}
+	if res.Rounds != 15 {
+		t.Fatal("rounds not propagated")
+	}
+}
+
+func TestRunUniversalityDeterministic(t *testing.T) {
+	run := func() Result {
+		res, err := RunUniversality(RunConfig{
+			Gen:    GenConfig{NumClients: 15, NumClasses: 5, Dim: 8, SamplesPerClient: 10, Seed: 5},
+			Rounds: 5, Hidden: 16, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic: %+v != %+v", a, b)
+	}
+}

@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+func smallSynthetic(t *testing.T, seed uint64) *Dataset {
+	t.Helper()
+	d, err := GenerateSynthetic(SyntheticConfig{
+		Name:             "test",
+		NumUsers:         60,
+		NumItems:         200,
+		NumCommunities:   4,
+		MeanItemsPerUser: 25,
+		MinItemsPerUser:  6,
+		Affinity:         0.85,
+		Seed:             seed,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSynthetic: %v", err)
+	}
+	return d
+}
+
+func TestGenerateSyntheticInvariants(t *testing.T) {
+	d := smallSynthetic(t, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 60 || d.NumItems != 200 {
+		t.Fatalf("shape %d/%d", d.NumUsers, d.NumItems)
+	}
+	for u := 0; u < d.NumUsers; u++ {
+		if len(d.Train[u]) < 6 {
+			t.Fatalf("user %d below min history: %d", u, len(d.Train[u]))
+		}
+	}
+	if len(d.PlantedCommunity) != d.NumUsers {
+		t.Fatal("missing planted communities")
+	}
+}
+
+func TestGenerateSyntheticDeterministic(t *testing.T) {
+	a := smallSynthetic(t, 7)
+	b := smallSynthetic(t, 7)
+	for u := range a.Train {
+		if len(a.Train[u]) != len(b.Train[u]) {
+			t.Fatal("same seed produced different datasets")
+		}
+		for i := range a.Train[u] {
+			if a.Train[u][i] != b.Train[u][i] {
+				t.Fatal("same seed produced different item sequences")
+			}
+		}
+	}
+	c := smallSynthetic(t, 8)
+	diff := false
+	for u := range a.Train {
+		if len(a.Train[u]) != len(c.Train[u]) {
+			diff = true
+			break
+		}
+		for i := range a.Train[u] {
+			if a.Train[u][i] != c.Train[u][i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+// Intra-community Jaccard similarity must exceed inter-community
+// similarity by a wide margin — this is the signal CIA consumes.
+func TestPlantedCommunitiesAreCohesive(t *testing.T) {
+	d := smallSynthetic(t, 3)
+	var intra, inter []float64
+	for u := 0; u < d.NumUsers; u++ {
+		for v := u + 1; v < d.NumUsers; v++ {
+			j := mathx.JaccardInt(d.TrainSet(u), d.TrainSet(v))
+			if d.PlantedCommunity[u] == d.PlantedCommunity[v] {
+				intra = append(intra, j)
+			} else {
+				inter = append(inter, j)
+			}
+		}
+	}
+	mi, mo := mathx.Mean(intra), mathx.Mean(inter)
+	if mi < 3*mo {
+		t.Fatalf("communities not cohesive: intra=%.4f inter=%.4f", mi, mo)
+	}
+}
+
+// With affinity 0, users are iid draws and community structure must
+// vanish (the other end of the spectrum promised in the config docs).
+func TestZeroAffinityHasNoCommunities(t *testing.T) {
+	d, err := GenerateSynthetic(SyntheticConfig{
+		NumUsers: 60, NumItems: 300, NumCommunities: 4,
+		MeanItemsPerUser: 25, MinItemsPerUser: 6,
+		Affinity: 1e-12, // ~0; exactly 0 would be replaced by the default
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter []float64
+	for u := 0; u < d.NumUsers; u++ {
+		for v := u + 1; v < d.NumUsers; v++ {
+			j := mathx.JaccardInt(d.TrainSet(u), d.TrainSet(v))
+			if d.PlantedCommunity[u] == d.PlantedCommunity[v] {
+				intra = append(intra, j)
+			} else {
+				inter = append(inter, j)
+			}
+		}
+	}
+	mi, mo := mathx.Mean(intra), mathx.Mean(inter)
+	if mi > 1.5*mo+0.02 {
+		t.Fatalf("iid users still show community structure: intra=%.4f inter=%.4f", mi, mo)
+	}
+}
+
+func TestCommunitySizesPinned(t *testing.T) {
+	d, err := GenerateSynthetic(SyntheticConfig{
+		NumUsers: 100, NumItems: 200, NumCommunities: 5,
+		CommunitySizes: []int{7}, MeanItemsPerUser: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c0 int
+	for _, c := range d.PlantedCommunity {
+		if c == 0 {
+			c0++
+		}
+	}
+	if c0 != 7 {
+		t.Fatalf("pinned community size = %d, want 7", c0)
+	}
+}
+
+func TestGenerateSyntheticConfigErrors(t *testing.T) {
+	bad := []SyntheticConfig{
+		{NumUsers: 0, NumItems: 10},
+		{NumUsers: 10, NumItems: 0},
+		{NumUsers: 5, NumItems: 100, NumCommunities: 10},
+		{NumUsers: 100, NumItems: 5, NumCommunities: 10},
+		{NumUsers: 10, NumItems: 10, Affinity: 1.5},
+		{NumUsers: 10, NumItems: 100, NumCommunities: 2, CommunitySizes: []int{20}},
+		{NumUsers: 10, NumItems: 100, NumCommunities: 2, CommunitySizes: []int{1, 1, 1}},
+		{NumUsers: 10, NumItems: 100, NumCommunities: 2, CommunitySizes: []int{-1}},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateSynthetic(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSplitLeaveOneOut(t *testing.T) {
+	d := smallSynthetic(t, 2)
+	before := d.NumInteractions()
+	d.SplitLeaveOneOut(2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var heldOut int
+	for u := 0; u < d.NumUsers; u++ {
+		heldOut += len(d.Test[u])
+		if len(d.Test[u]) != 1 {
+			t.Fatalf("user %d has %d test items, want 1", u, len(d.Test[u]))
+		}
+	}
+	if d.NumInteractions()+heldOut != before {
+		t.Fatal("split lost interactions")
+	}
+	// Train sets must have been rebuilt.
+	for u := 0; u < d.NumUsers; u++ {
+		if _, ok := d.TrainSet(u)[d.Test[u][0]]; ok {
+			t.Fatal("held-out item still in train set")
+		}
+	}
+}
+
+func TestSplitFraction(t *testing.T) {
+	d := smallSynthetic(t, 2)
+	d.SplitFraction(0.2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers; u++ {
+		if len(d.Train[u]) < 2 {
+			t.Fatalf("user %d train shrunk below 2", u)
+		}
+		if len(d.Test[u]) == 0 && len(d.Train[u]) > 10 {
+			t.Fatalf("user %d with %d items has no test split", u, len(d.Train[u]))
+		}
+	}
+}
+
+func TestSplitFractionPanicsOutOfRange(t *testing.T) {
+	d := smallSynthetic(t, 2)
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SplitFraction(%v) must panic", frac)
+				}
+			}()
+			d.SplitFraction(frac)
+		}()
+	}
+}
+
+func TestSampleNegative(t *testing.T) {
+	d := smallSynthetic(t, 4)
+	d.SplitLeaveOneOut(2)
+	r := mathx.NewRand(1)
+	for u := 0; u < d.NumUsers; u++ {
+		for k := 0; k < 20; k++ {
+			neg := d.SampleNegative(r, u)
+			if _, pos := d.TrainSet(u)[neg]; pos {
+				t.Fatal("negative sample is a training positive")
+			}
+			for _, h := range d.Test[u] {
+				if h == neg {
+					t.Fatal("negative sample is a held-out item")
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := smallSynthetic(t, 6)
+	c := d.Clone()
+	c.Train[0][0] = (c.Train[0][0] + 1) % c.NumItems
+	c.finalize()
+	if d.Train[0][0] == c.Train[0][0] {
+		t.Fatal("Clone shares Train storage")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := smallSynthetic(t, 9)
+	s := d.ComputeStats()
+	if s.Users != 60 || s.Items != 200 {
+		t.Fatalf("stats shape wrong: %+v", s)
+	}
+	if s.Interactions != d.NumInteractions() {
+		t.Fatal("stats interactions mismatch")
+	}
+	if s.MinPerUser > s.MaxPerUser || s.MeanPerUser <= 0 || s.Density <= 0 {
+		t.Fatalf("degenerate stats: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}

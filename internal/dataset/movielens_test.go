@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleUData = `1	10	5	100
+1	20	3	50
+2	10	4	10
+2	30	2	99
+3	5	1	1
+`
+
+func TestParseMovieLens(t *testing.T) {
+	d, err := ParseMovieLens(strings.NewReader(sampleUData), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 3 || d.NumItems != 30 {
+		t.Fatalf("shape %d/%d, want 3/30", d.NumUsers, d.NumItems)
+	}
+	// User 0's items must be timestamp-ordered: item 19 (ts 50), item 9 (ts 100).
+	if len(d.Train[0]) != 2 || d.Train[0][0] != 19 || d.Train[0][1] != 9 {
+		t.Fatalf("user 0 sequence %v, want [19 9]", d.Train[0])
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMovieLensDeduplicates(t *testing.T) {
+	in := "1\t10\t5\t1\n1\t10\t4\t2\n1\t11\t3\t3\n"
+	d, err := ParseMovieLens(strings.NewReader(in), "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Train[0]) != 2 {
+		t.Fatalf("duplicates not removed: %v", d.Train[0])
+	}
+}
+
+func TestParseMovieLensErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "1\t2\n",
+		"bad user":       "x\t2\t3\t4\n",
+		"bad item":       "1\ty\t3\t4\n",
+		"bad timestamp":  "1\t2\t3\tz\n",
+		"zero id":        "0\t2\t3\t4\n",
+		"empty":          "",
+	}
+	for name, in := range cases {
+		if _, err := ParseMovieLens(strings.NewReader(in), name); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseMovieLensSkipsBlankLines(t *testing.T) {
+	in := "1\t10\t5\t1\n\n   \n2\t11\t4\t2\n"
+	d, err := ParseMovieLens(strings.NewReader(in), "blank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 2 {
+		t.Fatalf("users = %d, want 2", d.NumUsers)
+	}
+}
+
+func TestLoadMovieLens100K(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.data")
+	if err := os.WriteFile(path, []byte(sampleUData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadMovieLens100K(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 3 {
+		t.Fatalf("users = %d", d.NumUsers)
+	}
+	if _, err := LoadMovieLens100K(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+const sampleUItem = `1|Toy Story (1995)|01-Jan-1995||http://x|0|0|0|1|1|1|0|0|0|0|0|0|0|0|0|0|0|0|0
+2|GoldenEye (1995)|01-Jan-1995||http://x|0|1|1|0|0|0|0|0|0|0|0|0|0|0|0|0|1|0|0
+30|Belle de jour (1967)|01-Jan-1967||http://x|0|0|0|0|0|0|0|0|1|0|0|0|0|0|0|0|0|0|0
+`
+
+func TestParseMovieLensGenres(t *testing.T) {
+	d, err := ParseMovieLens(strings.NewReader(sampleUData), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseMovieLensGenres(d, strings.NewReader(sampleUItem)); err != nil {
+		t.Fatal(err)
+	}
+	// Item 0 (Toy Story): first set flag is Animation (index 3).
+	if d.Categories[0] != 3 {
+		t.Fatalf("item 0 category %d, want 3 (Animation)", d.Categories[0])
+	}
+	// Item 1 (GoldenEye): Action (index 1).
+	if d.Categories[1] != 1 {
+		t.Fatalf("item 1 category %d, want 1 (Action)", d.Categories[1])
+	}
+	// Item 29 (id 30): Drama (index 8).
+	if d.Categories[29] != 8 {
+		t.Fatalf("item 29 category %d, want 8 (Drama)", d.Categories[29])
+	}
+	// Unlabelled items default to "unknown" (0).
+	if d.Categories[5] != 0 {
+		t.Fatalf("unlabelled item category %d, want 0", d.Categories[5])
+	}
+	if d.CategoryID("Drama") != 8 {
+		t.Fatal("category names not attached")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMovieLensGenresErrors(t *testing.T) {
+	d, err := ParseMovieLens(strings.NewReader(sampleUData), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range map[string]string{
+		"too few fields": "1|Title|date\n",
+		"bad id":         "x|T|d||u|0|0|0|0|0|0|0|0|0|0|0|0|0|0|0|0|0|0|0\n",
+	} {
+		if err := ParseMovieLensGenres(d, strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadMovieLensGenresFile(t *testing.T) {
+	d, err := ParseMovieLens(strings.NewReader(sampleUData), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "u.item")
+	if err := os.WriteFile(path, []byte(sampleUItem), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadMovieLensGenres(d, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadMovieLensGenres(d, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,36 @@
+package dataset
+
+import "testing"
+
+func TestNewConstructor(t *testing.T) {
+	d, err := New("custom", 3, 10, [][]int{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 3 || d.NumItems != 10 {
+		t.Fatalf("shape %d/%d", d.NumUsers, d.NumItems)
+	}
+	// Missing users get empty histories.
+	if len(d.Train[2]) != 0 {
+		t.Fatal("user 2 should be empty")
+	}
+	// Train sets must be built.
+	if _, ok := d.TrainSet(0)[1]; !ok {
+		t.Fatal("train set cache not built")
+	}
+}
+
+func TestNewConstructorErrors(t *testing.T) {
+	cases := map[string]func() (*Dataset, error){
+		"zero users":     func() (*Dataset, error) { return New("x", 0, 5, nil) },
+		"zero items":     func() (*Dataset, error) { return New("x", 5, 0, nil) },
+		"too many rows":  func() (*Dataset, error) { return New("x", 1, 5, [][]int{{0}, {1}}) },
+		"item oob":       func() (*Dataset, error) { return New("x", 1, 5, [][]int{{7}}) },
+		"duplicate item": func() (*Dataset, error) { return New("x", 1, 5, [][]int{{1, 1}}) },
+	}
+	for name, f := range cases {
+		if _, err := f(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import "testing"
+
+func TestMovieLensLikeShape(t *testing.T) {
+	d := MovieLensLike(0.1, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers != 94 || d.NumItems != 168 {
+		t.Fatalf("scale 0.1 shape = %d/%d, want 94/168", d.NumUsers, d.NumItems)
+	}
+	if d.Categories != nil {
+		t.Fatal("movielens-like should not carry categories")
+	}
+}
+
+func TestFoursquareLikeHealthCommunity(t *testing.T) {
+	d := FoursquareLike(0.1, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hc := d.CategoryID(HealthCategory)
+	if hc != 0 {
+		t.Fatalf("health category id = %d, want 0", hc)
+	}
+	// Members of planted community 0 must be strongly health-focused,
+	// while the global share stays low — the §II phenomenon.
+	global := d.GlobalCategoryShare(hc)
+	if global > 0.20 {
+		t.Fatalf("global health share too high: %v", global)
+	}
+	var members int
+	for u := 0; u < d.NumUsers; u++ {
+		if d.PlantedCommunity[u] != 0 {
+			continue
+		}
+		members++
+		if share := d.CategoryShare(u, hc); share < 0.5 {
+			t.Fatalf("health community member %d has share %v, want >= 0.5", u, share)
+		}
+	}
+	if members < 3 {
+		t.Fatalf("health community has %d members, want >= 3", members)
+	}
+	if members > d.NumUsers/10 {
+		t.Fatalf("health community too large: %d of %d", members, d.NumUsers)
+	}
+}
+
+func TestGowallaLikeShape(t *testing.T) {
+	d := GowallaLike(0.08, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers < 20 || d.NumItems < 100 {
+		t.Fatalf("degenerate shape %d/%d", d.NumUsers, d.NumItems)
+	}
+}
+
+func TestPresetFullScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation is slow")
+	}
+	ml := MovieLensLike(1, 1)
+	if ml.NumUsers != 943 || ml.NumItems != 1682 {
+		t.Fatalf("movielens full scale %d/%d", ml.NumUsers, ml.NumItems)
+	}
+	fs := FoursquareLike(1, 1)
+	if fs.NumUsers != 1083 || fs.NumItems != 38333 {
+		t.Fatalf("foursquare full scale %d/%d", fs.NumUsers, fs.NumItems)
+	}
+	gw := GowallaLike(1, 1)
+	if gw.NumUsers != 718 || gw.NumItems != 32924 {
+		t.Fatalf("gowalla full scale %d/%d", gw.NumUsers, gw.NumItems)
+	}
+}
+
+func TestItemsInCategoryPartition(t *testing.T) {
+	d := FoursquareLike(0.05, 3)
+	var total int
+	for c := range d.CategoryNames {
+		total += len(d.ItemsInCategory(c))
+	}
+	if total != d.NumItems {
+		t.Fatalf("categories partition %d of %d items", total, d.NumItems)
+	}
+	if d.CategoryID("No Such Category") != -1 {
+		t.Fatal("unknown category must map to -1")
+	}
+}

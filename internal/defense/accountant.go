@@ -1,0 +1,67 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accountant converts between the DP-SGD noise multiplier and (ε, δ)
+// guarantees using zero-concentrated differential privacy (zCDP)
+// composition of the Gaussian mechanism:
+//
+//	one round with noise multiplier ι satisfies ρ-zCDP with ρ = 1/(2ι²);
+//	T rounds compose to T·ρ; and ρ-zCDP implies
+//	(ρ + 2·sqrt(ρ·ln(1/δ)), δ)-DP.
+//
+// Every client participates in every round at the user level (no
+// subsampling amplification is claimed), which errs conservative. The
+// paper only needs the ε ordering ∞ > 1000 > 100 > 10 > 1, which any
+// monotone accountant preserves.
+type Accountant struct {
+	// Delta is the δ of the (ε, δ) guarantee (the paper uses 1e-6).
+	Delta float64
+	// Rounds is the number of composed training rounds T.
+	Rounds int
+}
+
+// Epsilon returns the ε guarantee after Rounds rounds with the given
+// noise multiplier. It returns +Inf for a non-positive multiplier.
+func (a Accountant) Epsilon(noiseMultiplier float64) float64 {
+	if noiseMultiplier <= 0 {
+		return math.Inf(1)
+	}
+	if a.Delta <= 0 || a.Delta >= 1 {
+		panic(fmt.Sprintf("defense: accountant delta %v out of (0,1)", a.Delta))
+	}
+	rho := float64(a.Rounds) / (2 * noiseMultiplier * noiseMultiplier)
+	return rho + 2*math.Sqrt(rho*math.Log(1/a.Delta))
+}
+
+// Calibrate returns the smallest noise multiplier achieving at most
+// epsilon after Rounds rounds, via binary search. Infinite epsilon
+// returns 0 (no noise).
+func (a Accountant) Calibrate(epsilon float64) float64 {
+	if math.IsInf(epsilon, 1) {
+		return 0
+	}
+	if epsilon <= 0 {
+		panic(fmt.Sprintf("defense: cannot calibrate epsilon %v", epsilon))
+	}
+	lo, hi := 1e-6, 1e-6
+	// Grow hi until it satisfies the target.
+	for a.Epsilon(hi) > epsilon {
+		hi *= 2
+		if hi > 1e12 {
+			panic("defense: calibration diverged")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if a.Epsilon(mid) > epsilon {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

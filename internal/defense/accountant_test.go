@@ -1,0 +1,93 @@
+package defense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpsilonMonotoneInNoise(t *testing.T) {
+	a := Accountant{Delta: 1e-6, Rounds: 100}
+	prev := math.Inf(1)
+	for _, iota := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		eps := a.Epsilon(iota)
+		if eps >= prev {
+			t.Fatalf("epsilon not decreasing in noise: ι=%v ε=%v prev=%v", iota, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestEpsilonInfiniteWithoutNoise(t *testing.T) {
+	a := Accountant{Delta: 1e-6, Rounds: 10}
+	if !math.IsInf(a.Epsilon(0), 1) {
+		t.Fatal("zero noise must yield infinite epsilon")
+	}
+}
+
+func TestEpsilonGrowsWithRounds(t *testing.T) {
+	e1 := Accountant{Delta: 1e-6, Rounds: 10}.Epsilon(1)
+	e2 := Accountant{Delta: 1e-6, Rounds: 100}.Epsilon(1)
+	if e2 <= e1 {
+		t.Fatalf("composition not increasing: %v <= %v", e2, e1)
+	}
+}
+
+func TestCalibrateRoundTrip(t *testing.T) {
+	a := Accountant{Delta: 1e-6, Rounds: 50}
+	for _, eps := range []float64{1, 10, 100, 1000} {
+		iota := a.Calibrate(eps)
+		got := a.Epsilon(iota)
+		if got > eps*1.001 {
+			t.Fatalf("calibrated ι=%v yields ε=%v > target %v", iota, got, eps)
+		}
+		if got < eps*0.9 {
+			t.Fatalf("calibration too loose: ε=%v for target %v", got, eps)
+		}
+	}
+}
+
+func TestCalibrateInfinite(t *testing.T) {
+	a := Accountant{Delta: 1e-6, Rounds: 50}
+	if got := a.Calibrate(math.Inf(1)); got != 0 {
+		t.Fatalf("infinite epsilon should need no noise, got ι=%v", got)
+	}
+}
+
+func TestCalibratePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accountant{Delta: 1e-6, Rounds: 10}.Calibrate(0)
+}
+
+func TestEpsilonPanicsOnBadDelta(t *testing.T) {
+	for _, delta := range []float64{0, 1, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("delta=%v should panic", delta)
+				}
+			}()
+			Accountant{Delta: delta, Rounds: 10}.Epsilon(1)
+		}()
+	}
+}
+
+func TestCalibrateMonotoneProperty(t *testing.T) {
+	// Property: smaller epsilon targets require more noise.
+	a := Accountant{Delta: 1e-6, Rounds: 30}
+	f := func(e1, e2 float64) bool {
+		e1 = 0.5 + math.Abs(math.Mod(e1, 1000))
+		e2 = 0.5 + math.Abs(math.Mod(e2, 1000))
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		return a.Calibrate(e1) >= a.Calibrate(e2)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

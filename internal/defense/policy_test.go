@@ -1,0 +1,184 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+func defTestDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumUsers: 12, NumItems: 50, NumCommunities: 3,
+		MeanItemsPerUser: 10, MinItemsPerUser: 4, Affinity: 0.9, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFullSharingOutgoingIsCompleteCopy(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	out := FullSharing{}.Outgoing(m, nil, nil)
+	if out.Len() != m.Params().Len() {
+		t.Fatalf("full sharing dropped entries: %v", out.Names())
+	}
+	// Must not alias live storage.
+	out.Get(model.GMFOutput)[0] += 1
+	if m.Params().Get(model.GMFOutput)[0] == out.Get(model.GMFOutput)[0] {
+		t.Fatal("Outgoing aliases model storage")
+	}
+}
+
+func TestShareLessHidesUserEmbeddings(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	out := ShareLess{Tau: 1}.Outgoing(m, nil, nil)
+	if out.Has(model.GMFUserEmb) {
+		t.Fatal("share-less leaked user embeddings")
+	}
+	for _, name := range []string{model.GMFItemEmb, model.GMFOutput, model.GMFBias} {
+		if !out.Has(name) {
+			t.Fatalf("share-less dropped %s", name)
+		}
+	}
+
+	p := model.NewPRME(4, 6, 3, 1)
+	outP := ShareLess{Tau: 1}.Outgoing(p, nil, nil)
+	if outP.Has(model.PRMEUserEmb) {
+		t.Fatal("share-less leaked PRME user embeddings")
+	}
+}
+
+func TestShareLessPrepareTrainSetsDrift(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	received := m.Params().Clone()
+	var opt model.TrainOptions
+	ShareLess{Tau: 0.5}.PrepareTrain(&opt, m, received)
+	if opt.DriftTau != 0.5 || opt.DriftRef != received {
+		t.Fatal("drift not wired to received payload")
+	}
+	// Nil payload (first round): falls back to own params snapshot.
+	var opt2 model.TrainOptions
+	ShareLess{Tau: 0.5}.PrepareTrain(&opt2, m, nil)
+	if opt2.DriftRef == nil {
+		t.Fatal("first-round drift reference missing")
+	}
+	// Zero tau: policy is inert.
+	var opt3 model.TrainOptions
+	ShareLess{}.PrepareTrain(&opt3, m, received)
+	if opt3.DriftTau != 0 || opt3.DriftRef != nil {
+		t.Fatal("zero-tau share-less should not enable drift")
+	}
+}
+
+func TestShareLessPartialPayloadFallsBack(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	// A payload missing item entries (e.g. corrupted) must not be used
+	// as the drift reference.
+	bogus := param.New()
+	bogus.AddVector("unrelated", []float64{1})
+	var opt model.TrainOptions
+	ShareLess{Tau: 1}.PrepareTrain(&opt, m, bogus)
+	if opt.DriftRef == bogus {
+		t.Fatal("drift reference must contain the item entries")
+	}
+	if opt.DriftRef == nil || !opt.DriftRef.Has(model.GMFItemEmb) {
+		t.Fatal("fallback reference missing item entries")
+	}
+}
+
+func TestDPSGDPrepareTrainEnablesClipping(t *testing.T) {
+	var opt model.TrainOptions
+	DPSGD{Clip: 2, NoiseMultiplier: 0.1}.PrepareTrain(&opt, nil, nil)
+	if opt.PerExampleClip != 2 {
+		t.Fatal("per-example clip not set")
+	}
+}
+
+func TestDPSGDOutgoingClipsDelta(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	prev := m.Params().Clone()
+	// Apply a huge fake local update.
+	m.Params().Get(model.GMFItemEmb)[0] += 100
+	p := DPSGD{Clip: 1, NoiseMultiplier: 0}
+	out := p.Outgoing(m, prev, mathx.NewRand(1))
+	delta := out.Clone()
+	delta.Axpy(-1, prev)
+	if n := delta.L2Norm(); n > 1+1e-9 {
+		t.Fatalf("shared delta norm %v exceeds clip 1", n)
+	}
+}
+
+func TestDPSGDOutgoingAddsNoise(t *testing.T) {
+	m := model.NewGMF(4, 6, 3, 1)
+	prev := m.Params().Clone()
+	p := DPSGD{Clip: 1, NoiseMultiplier: 1}
+	a := p.Outgoing(m, prev, mathx.NewRand(1))
+	b := p.Outgoing(m, prev, mathx.NewRand(2))
+	if param.Equal(a, b, 1e-12) {
+		t.Fatal("DP noise is deterministic across different RNGs")
+	}
+	// Noise magnitude sanity: std of (out - prev) ≈ ι·C = 1.
+	diff := a.Clone()
+	diff.Axpy(-1, prev)
+	var vals []float64
+	vals = append(vals, diff.Get(model.GMFItemEmb)...)
+	if sd := mathx.StdDev(vals); sd < 0.5 || sd > 1.5 {
+		t.Fatalf("noise std %v, want ~1", sd)
+	}
+}
+
+func TestDPSGDOutgoingRequiresPrev(t *testing.T) {
+	m := model.NewGMF(2, 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without prev snapshot")
+		}
+	}()
+	DPSGD{Clip: 1}.Outgoing(m, nil, mathx.NewRand(1))
+}
+
+// End-to-end: a share-less client round trip trains, shares partial
+// params, and the drift regularizer keeps item embeddings closer to
+// the reference than undefended training does.
+func TestShareLessRoundTrip(t *testing.T) {
+	d := defTestDataset(t)
+	mFree := model.NewGMF(d.NumUsers, d.NumItems, 8, 2)
+	mDef := mFree.Clone()
+	ref := mFree.Params().Clone()
+
+	r1, r2 := mathx.NewRand(9), mathx.NewRand(9)
+	optFree := model.TrainOptions{Rand: r1}
+	optDef := model.TrainOptions{Rand: r2}
+	ShareLess{Tau: 3}.PrepareTrain(&optDef, mDef, ref)
+	for e := 0; e < 5; e++ {
+		mFree.TrainLocal(d, 0, optFree)
+		mDef.TrainLocal(d, 0, optDef)
+	}
+	divFree := entryDist(mFree.Params(), ref, model.GMFItemEmb)
+	divDef := entryDist(mDef.Params(), ref, model.GMFItemEmb)
+	if divDef >= divFree {
+		t.Fatalf("drift regularizer ineffective: %v >= %v", divDef, divFree)
+	}
+}
+
+func entryDist(a, b *param.Set, entry string) float64 {
+	av, bv := a.Get(entry), b.Get(entry)
+	var s float64
+	for i := range av {
+		d := av[i] - bv[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FullSharing{}).Name() != "full" || (ShareLess{}).Name() != "share-less" || (DPSGD{}).Name() != "dp-sgd" {
+		t.Fatal("policy names changed; experiment output depends on them")
+	}
+}

@@ -1,0 +1,83 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+func TestTopKSparsifyKeepsLargestCoordinates(t *testing.T) {
+	m := model.NewGMF(2, 4, 2, 1)
+	prev := m.Params().Clone()
+	// Construct a known delta: one large coordinate, many small ones.
+	item := m.Params().Get(model.GMFItemEmb)
+	for i := range item {
+		item[i] += 0.001
+	}
+	item[3] += 10
+
+	out := TopKSparsify{Fraction: 0.05}.Outgoing(m, prev, nil)
+	delta := out.Clone()
+	delta.Axpy(-1, prev)
+	d := delta.Get(model.GMFItemEmb)
+	if math.Abs(d[3]-10.001) > 1e-9 {
+		t.Fatalf("largest coordinate not kept: %v", d[3])
+	}
+	var nonzero int
+	for _, name := range delta.Names() {
+		for _, v := range delta.Get(name) {
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	total := delta.NumParams()
+	if nonzero > total/10 {
+		t.Fatalf("sparsification kept %d of %d coordinates at 5%%", nonzero, total)
+	}
+}
+
+func TestTopKSparsifyFullFractionIsIdentity(t *testing.T) {
+	d := defTestDataset(t)
+	m := model.NewGMF(d.NumUsers, d.NumItems, 4, 1)
+	prev := m.Params().Clone()
+	m.TrainLocal(d, 0, model.TrainOptions{Rand: mathx.NewRand(2)})
+	out := TopKSparsify{Fraction: 1}.Outgoing(m, prev, nil)
+	cur := m.Params()
+	for _, name := range cur.Names() {
+		a, b := cur.Get(name), out.Get(name)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("fraction=1 must transmit the full update")
+			}
+		}
+	}
+}
+
+func TestTopKSparsifyNoUpdateNoChange(t *testing.T) {
+	m := model.NewGMF(2, 4, 2, 1)
+	prev := m.Params().Clone()
+	out := TopKSparsify{Fraction: 0.5}.Outgoing(m, prev, nil)
+	if out.L2Norm() != prev.L2Norm() {
+		t.Fatal("zero delta must yield prev unchanged")
+	}
+}
+
+func TestTopKSparsifyPanics(t *testing.T) {
+	m := model.NewGMF(2, 4, 2, 1)
+	for name, f := range map[string]func(){
+		"nil prev":     func() { TopKSparsify{Fraction: 0.5}.Outgoing(m, nil, nil) },
+		"bad fraction": func() { TopKSparsify{Fraction: 0}.Outgoing(m, m.Params().Clone(), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package evalx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+// Property: Accuracy is bounded by min(1, |pred|/|truth|) and by the
+// upper bound computed from any superset of the prediction.
+func TestAccuracyBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRand(seed)
+		n := 5 + r.IntN(30)
+		k := 1 + r.IntN(n)
+		pred := mathx.SampleWithoutReplacement(r, n, 1+r.IntN(k))
+		truth := map[int]struct{}{}
+		for _, u := range mathx.SampleWithoutReplacement(r, n, k) {
+			truth[u] = struct{}{}
+		}
+		acc := Accuracy(pred, truth)
+		if acc < 0 || acc > 1 {
+			return false
+		}
+		if acc > float64(len(pred))/float64(len(truth))+1e-12 {
+			return false
+		}
+		seen := map[int]struct{}{}
+		for _, u := range pred {
+			seen[u] = struct{}{}
+		}
+		return acc <= UpperBound(seen, truth)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Recorder.MaxAAC is an upper bound of every per-round AAC,
+// and Best10At(t) is at least AAC(t) (the best decile dominates the
+// mean... for the 90th percentile this holds when accuracies are
+// bounded — verify empirically against the recorded data).
+func TestRecorderConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRand(seed)
+		rec := NewRecorder()
+		rounds := 1 + r.IntN(10)
+		users := 3 + r.IntN(20)
+		for t := 0; t < rounds; t++ {
+			accs := make([]float64, users)
+			for i := range accs {
+				accs[i] = r.Float64()
+			}
+			rec.Record(accs)
+		}
+		maxAAC, at := rec.MaxAAC()
+		for t := 0; t < rounds; t++ {
+			if rec.AAC(t) > maxAAC+1e-12 {
+				return false
+			}
+		}
+		// The 90th percentile is >= the median >= ... not necessarily
+		// the mean, but it must be within [min, max] of the round.
+		b := rec.Best10At(at)
+		return b >= 0 && b <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TrueCommunity is deterministic and always returns exactly
+// min(k, users) members.
+func TestTrueCommunitySizeProperty(t *testing.T) {
+	d := testDataset(t)
+	f := func(aRaw, kRaw uint8) bool {
+		a := int(aRaw) % d.NumUsers
+		k := 1 + int(kRaw)%d.NumUsers
+		c1 := TrueCommunity(d, d.Train[a], k)
+		c2 := TrueCommunity(d, d.Train[a], k)
+		if len(c1) != k || len(c2) != k {
+			return false
+		}
+		for u := range c1 {
+			if _, ok := c2[u]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

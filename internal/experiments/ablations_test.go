@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Secure Aggregation alone does not fix FedRec leakage (the aggregate
+// still carries per-user embedding rows); SA + Share-less does.
+func TestSecureAggAblation(t *testing.T) {
+	rows, err := RunSecureAggAblation(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	baseline, saFull, saShareLess := rows[0], rows[1], rows[2]
+	if saFull.MaxAAC < 2*saFull.Random {
+		t.Fatalf("SA with full sharing should still leak via user rows: %.3f vs random %.3f",
+			saFull.MaxAAC, saFull.Random)
+	}
+	if saShareLess.MaxAAC > 2*saShareLess.Random {
+		t.Fatalf("SA + share-less should approach random: %.3f vs %.3f",
+			saShareLess.MaxAAC, saShareLess.Random)
+	}
+	if baseline.MaxAAC < saShareLess.MaxAAC {
+		t.Fatal("baseline CIA should dominate the fully-defended setting")
+	}
+	if !strings.Contains(RenderSecureAggAblation(rows), "Secure Aggregation") {
+		t.Fatal("render malformed")
+	}
+}
+
+// Freezing the gossip graph caps the adversary's observation bound.
+func TestStaticGraphAblation(t *testing.T) {
+	rows, err := RunStaticGraphAblation(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, static := rows[0], rows[1]
+	if static.UpperBound >= dynamic.UpperBound {
+		t.Fatalf("static graph should have a lower observation bound: %.3f vs %.3f",
+			static.UpperBound, dynamic.UpperBound)
+	}
+	if !strings.Contains(RenderStaticGraphAblation(rows), "dynamic") {
+		t.Fatal("render malformed")
+	}
+}
+
+// The fitted fictive-user embedding is what makes Share-less CIA work.
+func TestFictiveAblation(t *testing.T) {
+	rows, err := RunFictiveAblation(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, zero := rows[0], rows[1]
+	if fitted.MaxAAC <= zero.MaxAAC {
+		t.Fatalf("fitted e_A (%.3f) should beat the zero vector (%.3f)",
+			fitted.MaxAAC, zero.MaxAAC)
+	}
+	if !strings.Contains(RenderFictiveAblation(rows), "fictive") {
+		t.Fatal("render malformed")
+	}
+}
+
+// The norm-adjusted PRME relevance is what makes PRME attackable.
+func TestRelevanceAblation(t *testing.T) {
+	rows, err := RunRelevanceAblation(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted, raw := rows[0], rows[1]
+	if adjusted.MaxAAC <= raw.MaxAAC {
+		t.Fatalf("norm-adjusted relevance (%.3f) should beat raw distances (%.3f)",
+			adjusted.MaxAAC, raw.MaxAAC)
+	}
+	if !strings.Contains(RenderRelevanceAblation(rows), "PRME") {
+		t.Fatal("render malformed")
+	}
+}
+
+// Partial participation slows but does not stop the FL attack; upper
+// bounds reflect accumulated coverage.
+func TestParticipationAblation(t *testing.T) {
+	rows, err := RunParticipationAblation(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	full, sparse := rows[0], rows[2] // full vs 20% sampling
+	if full.MaxAAC < sparse.MaxAAC {
+		t.Fatalf("full participation (%.3f) should leak at least as much as 20%% sampling (%.3f)",
+			full.MaxAAC, sparse.MaxAAC)
+	}
+	for _, r := range rows {
+		if r.MaxAAC < r.Random {
+			t.Errorf("%s: attack below random", r.Setting)
+		}
+		if r.UpperBound <= 0 || r.UpperBound > 1 {
+			t.Errorf("%s: bad upper bound %v", r.Setting, r.UpperBound)
+		}
+	}
+	if !strings.Contains(RenderParticipationAblation(rows), "participation") {
+		t.Fatal("render malformed")
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every model family leaks communities well above random; the ranking
+// models (GMF, BPR-MF) leak more than the harder metric-embedding
+// task, mirroring the paper's GMF-vs-PRME gap.
+func TestModelFamilyStudy(t *testing.T) {
+	rows, err := RunModelFamilyStudy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byFam := map[string]FamilyRow{}
+	for _, r := range rows {
+		byFam[r.Family] = r
+		if r.MaxAAC < 1.5*r.Random {
+			t.Errorf("%s: CIA %.3f not above random %.3f", r.Family, r.MaxAAC, r.Random)
+		}
+		if r.Utility <= 0 {
+			t.Errorf("%s: model did not learn (utility 0)", r.Family)
+		}
+	}
+	if byFam["bprmf"].MaxAAC < byFam["prme"].MaxAAC {
+		t.Errorf("BPR-MF (%.3f) expected to leak at least as much as PRME (%.3f)",
+			byFam["bprmf"].MaxAAC, byFam["prme"].MaxAAC)
+	}
+	if !strings.Contains(RenderModelFamilyStudy(rows), "bprmf") {
+		t.Fatal("render malformed")
+	}
+}
+
+// Sparsification barely protects until it destroys the update.
+func TestSparsifyStudy(t *testing.T) {
+	rows, err := RunSparsifyStudy(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	base, half := rows[0], rows[1]
+	// Keeping 50% of coordinates should leave the attack essentially
+	// intact (within 40% of baseline).
+	if half.MaxAAC < 0.6*base.MaxAAC {
+		t.Errorf("50%% sparsification unexpectedly strong defense: %.3f vs %.3f",
+			half.MaxAAC, base.MaxAAC)
+	}
+	if !strings.Contains(RenderSparsifyStudy(rows), "sparsification") {
+		t.Fatal("render malformed")
+	}
+}

@@ -1,0 +1,131 @@
+package fed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+// Hand-crafted aggregation check: with two uploads of known values and
+// known weights, every shared entry must land exactly on the
+// weighted-delta FedAvg result, while user-embedding rows route from
+// their owners.
+func TestAggregateWeightedDeltaMath(t *testing.T) {
+	d, err := dataset.New("agg", 2, 4, [][]int{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Dataset: d,
+		Factory: model.NewGMFFactory(2, 4, 2),
+		Rounds:  1,
+		Seed:    1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalBefore := s.Global().Params().Clone()
+
+	// Build two synthetic uploads: global + known per-entry shifts.
+	up0 := globalBefore.Clone()
+	up1 := globalBefore.Clone()
+	for i := range up0.Get(model.GMFOutput) {
+		up0.Get(model.GMFOutput)[i] += 1.0
+		up1.Get(model.GMFOutput)[i] += 3.0
+	}
+	// Distinct user rows to verify routing.
+	for i := range up0.Get(model.GMFUserEmb) {
+		up0.Get(model.GMFUserEmb)[i] = 100
+		up1.Get(model.GMFUserEmb)[i] = 200
+	}
+
+	s.aggregate([]upload{
+		{from: 0, payload: up0, weight: 2}, // user 0 has 2 items
+		{from: 1, payload: up1, weight: 1}, // user 1 has 1 item
+	})
+
+	// h entry: delta = (2/3)*1 + (1/3)*3 = 5/3.
+	after := s.Global().Params()
+	for i, v := range after.Get(model.GMFOutput) {
+		want := globalBefore.Get(model.GMFOutput)[i] + 5.0/3.0
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("h[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// User rows: row 0 from upload 0, row 1 from upload 1.
+	ue := after.Entry(model.GMFUserEmb)
+	for k := 0; k < ue.Cols; k++ {
+		if ue.Data[0*ue.Cols+k] != 100 {
+			t.Fatalf("user row 0 not routed from its owner: %v", ue.Data[0*ue.Cols+k])
+		}
+		if ue.Data[1*ue.Cols+k] != 200 {
+			t.Fatalf("user row 1 not routed from its owner: %v", ue.Data[1*ue.Cols+k])
+		}
+	}
+}
+
+// Entries absent from every payload (Share-less user embeddings) must
+// leave the global untouched.
+func TestAggregateSkipsMissingEntries(t *testing.T) {
+	d, err := dataset.New("agg2", 2, 4, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dataset: d,
+		Factory: model.NewGMFFactory(2, 4, 2),
+		Rounds:  1,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Global().Params().Clone()
+	partial := before.Filter(model.GMFItemEmb) // only item embeddings
+	for i := range partial.Get(model.GMFItemEmb) {
+		partial.Get(model.GMFItemEmb)[i] += 2
+	}
+	s.aggregate([]upload{{from: 0, payload: partial, weight: 1}})
+
+	after := s.Global().Params()
+	for i, v := range after.Get(model.GMFUserEmb) {
+		if v != before.Get(model.GMFUserEmb)[i] {
+			t.Fatal("user embeddings changed despite not being shared")
+		}
+	}
+	for i, v := range after.Get(model.GMFItemEmb) {
+		if math.Abs(v-(before.Get(model.GMFItemEmb)[i]+2)) > 1e-12 {
+			t.Fatal("item embeddings not aggregated")
+		}
+	}
+	for i, v := range after.Get(model.GMFOutput) {
+		if v != before.Get(model.GMFOutput)[i] {
+			t.Fatal("h changed despite not being shared")
+		}
+	}
+}
+
+// Aggregating zero uploads must be a no-op, not a crash.
+func TestAggregateEmptyRound(t *testing.T) {
+	d, err := dataset.New("agg3", 2, 4, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dataset: d,
+		Factory: model.NewGMFFactory(2, 4, 2),
+		Rounds:  1,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Global().Params().Clone()
+	s.aggregate(nil)
+	if s.Global().Params().L2Norm() != before.L2Norm() {
+		t.Fatal("empty aggregation modified the global model")
+	}
+}

@@ -1,0 +1,388 @@
+// Package fed simulates Federated Recommender Systems (§III-B): the
+// classic FedAvg loop in which selected clients download the global
+// model, train locally on their private interactions, and upload their
+// models to a central server that aggregates them.
+//
+// The simulator is single-process and round-synchronous, which is
+// exactly the abstraction level of the paper's protocols. The
+// honest-but-curious server adversary is modelled with an Observer
+// that sees every upload (Alg. 1, line 6).
+//
+// User-embedding aggregation follows standard FedRec practice: the
+// global table takes user u's row from client u's upload (only the
+// owner ever trains that row; averaging it with N−1 stale copies would
+// dilute it to nothing). All other shared entries aggregate as
+// data-size-weighted deltas, i.e. classic FedAvg.
+package fed
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/defense"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Message is one client upload as seen by the server (and therefore by
+// a server-side adversary).
+type Message struct {
+	Round  int
+	From   int
+	Params *param.Set
+}
+
+// Observer receives the traffic a server-side adversary can see.
+// Implementations must not retain msg.Params without cloning if they
+// mutate it (the simulator itself does not reuse payloads).
+type Observer interface {
+	// OnUpload is called for every client upload, before aggregation.
+	OnUpload(msg Message)
+	// OnRoundEnd is called after aggregation each round.
+	OnRoundEnd(round int)
+}
+
+// Config parameterizes a federated simulation.
+type Config struct {
+	Dataset *dataset.Dataset
+	Factory model.Factory
+	// Policy defaults to defense.FullSharing.
+	Policy defense.Policy
+
+	// Rounds is the number of FedAvg rounds (required, > 0).
+	Rounds int
+	// ClientFraction is the fraction of clients sampled per round
+	// (default 1: full participation, as in the paper's FL setting).
+	ClientFraction float64
+	// DropoutProb is the probability that a sampled client fails mid-
+	// round (trains but never uploads — a crash or network partition).
+	// The server aggregates whatever arrives; droppers keep their
+	// private state. Used for failure-injection testing.
+	DropoutProb float64
+	// Train is the local-training option template; its Rand field is
+	// ignored (each client owns a generator).
+	Train model.TrainOptions
+
+	// Observer optionally receives all uploads (the adversary hook).
+	Observer Observer
+	// OnRound is called after every round with the live simulation,
+	// e.g. to record utility curves.
+	OnRound func(round int, s *Simulation)
+
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Dataset == nil {
+		return fmt.Errorf("fed: Config.Dataset is required")
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("fed: Config.Factory is required")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fed: Config.Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("fed: Config.ClientFraction %v out of [0,1]", c.ClientFraction)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("fed: Config.DropoutProb %v out of [0,1)", c.DropoutProb)
+	}
+	return nil
+}
+
+// clientState is the per-client persistent state: its RNG and, under
+// Share-less, its private (never-shared) user-embedding rows.
+type clientState struct {
+	rng *rand.Rand
+	// privateRows maps private entry name → the client's own row.
+	// Empty until first populated; absent entries mean "use global".
+	privateRows map[string][]float64
+	// lastReceived is the payload the client installed most recently
+	// (the Share-less drift reference).
+	lastReceived *param.Set
+}
+
+// Traffic accumulates protocol communication statistics (client →
+// server uploads; the broadcast of the global model is counted once
+// per sampled client as the same wire size).
+type Traffic struct {
+	Messages int
+	Bytes    int64
+}
+
+// Simulation is a running federated system. Create with New, then call
+// Run (or RunRound repeatedly).
+type Simulation struct {
+	cfg     Config
+	global  model.Recommender
+	scratch model.Recommender // reusable client/eval workspace
+	clients []clientState
+	rng     *rand.Rand
+	evalRng *rand.Rand
+	round   int
+	traffic Traffic
+
+	privateEntries []string
+}
+
+// Traffic returns the accumulated upload statistics.
+func (s *Simulation) Traffic() Traffic { return s.traffic }
+
+// New builds a federated simulation from cfg.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = defense.FullSharing{}
+	}
+	if cfg.ClientFraction == 0 {
+		cfg.ClientFraction = 1
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	global := cfg.Factory(rng.Uint64())
+	if global.NumUsers() != cfg.Dataset.NumUsers {
+		return nil, fmt.Errorf("fed: model has %d users, dataset has %d",
+			global.NumUsers(), cfg.Dataset.NumUsers)
+	}
+	if global.NumItems() != cfg.Dataset.NumItems {
+		return nil, fmt.Errorf("fed: model has %d items, dataset has %d",
+			global.NumItems(), cfg.Dataset.NumItems)
+	}
+	s := &Simulation{
+		cfg:            cfg,
+		global:         global,
+		scratch:        global.Clone(),
+		clients:        make([]clientState, cfg.Dataset.NumUsers),
+		rng:            rng,
+		evalRng:        mathx.NewRand(cfg.Seed ^ 0xabcdef),
+		privateEntries: global.PrivateEntries(),
+	}
+	for u := range s.clients {
+		s.clients[u] = clientState{
+			rng:         mathx.Split(rng),
+			privateRows: make(map[string][]float64),
+		}
+	}
+	return s, nil
+}
+
+// Global returns the live global model (do not mutate).
+func (s *Simulation) Global() model.Recommender { return s.global }
+
+// Round returns the number of completed rounds.
+func (s *Simulation) Round() int { return s.round }
+
+// Run executes all configured rounds.
+func (s *Simulation) Run() {
+	for s.round < s.cfg.Rounds {
+		s.RunRound()
+	}
+}
+
+// RunRound executes a single FedAvg round: sample clients, local
+// training, observation, aggregation, callbacks.
+func (s *Simulation) RunRound() {
+	round := s.round
+	n := s.cfg.Dataset.NumUsers
+	sampled := s.sampleClients(n)
+
+	uploads := make([]upload, 0, len(sampled))
+	for _, u := range sampled {
+		payload := s.clientRound(round, u)
+		if s.cfg.DropoutProb > 0 && mathx.Bernoulli(s.rng, s.cfg.DropoutProb) {
+			// Failure injection: the client crashed before uploading.
+			// Its local training (and private state) already happened.
+			continue
+		}
+		uploads = append(uploads, upload{
+			from:    u,
+			payload: payload,
+			weight:  float64(len(s.cfg.Dataset.Train[u])),
+		})
+		s.traffic.Messages++
+		s.traffic.Bytes += int64(payload.WireBytes())
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.OnUpload(Message{Round: round, From: u, Params: payload})
+		}
+	}
+	s.aggregate(uploads)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnRoundEnd(round)
+	}
+	s.round++
+	if s.cfg.OnRound != nil {
+		s.cfg.OnRound(round, s)
+	}
+}
+
+func (s *Simulation) sampleClients(n int) []int {
+	if s.cfg.ClientFraction >= 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	k := int(s.cfg.ClientFraction * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	return mathx.SampleWithoutReplacement(s.rng, n, k)
+}
+
+// clientRound simulates client u's round: install the global model
+// (plus persistent private rows), train locally, build the outgoing
+// payload via the policy.
+func (s *Simulation) clientRound(round, u int) *param.Set {
+	st := &s.clients[u]
+	m := s.scratch
+	m.Params().CopyFrom(s.global.Params())
+	s.installPrivateRows(m, u)
+	st.lastReceived = m.Params().Clone()
+
+	prev := st.lastReceived // pre-training snapshot (same values)
+	opt := s.cfg.Train
+	opt.Rand = st.rng
+	s.cfg.Policy.PrepareTrain(&opt, m, st.lastReceived)
+	m.TrainLocal(s.cfg.Dataset, u, opt)
+
+	s.capturePrivateRows(m, u)
+	return s.cfg.Policy.Outgoing(m, prev, st.rng)
+}
+
+// installPrivateRows copies the client's persisted private rows into
+// the working model (no-op until they have been captured once).
+func (s *Simulation) installPrivateRows(m model.Recommender, u int) {
+	st := &s.clients[u]
+	for _, name := range s.privateEntries {
+		row, ok := st.privateRows[name]
+		if !ok {
+			continue
+		}
+		e := m.Params().Entry(name)
+		copy(e.Data[u*e.Cols:(u+1)*e.Cols], row)
+	}
+}
+
+// capturePrivateRows persists the client's own private rows after
+// training so they survive across rounds even when never shared.
+func (s *Simulation) capturePrivateRows(m model.Recommender, u int) {
+	st := &s.clients[u]
+	for _, name := range s.privateEntries {
+		e := m.Params().Entry(name)
+		row := st.privateRows[name]
+		if row == nil {
+			row = make([]float64, e.Cols)
+			st.privateRows[name] = row
+		}
+		copy(row, e.Data[u*e.Cols:(u+1)*e.Cols])
+	}
+}
+
+// upload is one client's contribution to a round's aggregation.
+type upload struct {
+	from    int
+	payload *param.Set
+	weight  float64
+}
+
+// aggregate folds the uploads into the global model.
+func (s *Simulation) aggregate(uploads []upload) {
+	if len(uploads) == 0 {
+		return
+	}
+	var totalW float64
+	for _, up := range uploads {
+		totalW += up.weight
+	}
+	if totalW == 0 {
+		totalW = 1
+	}
+	private := make(map[string]struct{}, len(s.privateEntries))
+	for _, n := range s.privateEntries {
+		private[n] = struct{}{}
+	}
+	globalParams := s.global.Params()
+	for _, name := range globalParams.Names() {
+		ge := globalParams.Entry(name)
+		if _, isUserTable := private[name]; isUserTable {
+			// Row routing: take row u from client u's upload (if the
+			// policy shared it at all).
+			for _, up := range uploads {
+				if !up.payload.Has(name) {
+					continue
+				}
+				pe := up.payload.Entry(name)
+				u := up.from
+				copy(ge.Data[u*ge.Cols:(u+1)*ge.Cols], pe.Data[u*pe.Cols:(u+1)*pe.Cols])
+			}
+			continue
+		}
+		// Weighted-delta FedAvg for every other shared entry.
+		acc := make([]float64, len(ge.Data))
+		var any bool
+		for _, up := range uploads {
+			if !up.payload.Has(name) {
+				continue
+			}
+			any = true
+			pe := up.payload.Entry(name)
+			w := up.weight / totalW
+			for i := range acc {
+				acc[i] += w * (pe.Data[i] - ge.Data[i])
+			}
+		}
+		if any {
+			mathx.Axpy(1, acc, ge.Data)
+		}
+	}
+}
+
+// UtilityHR computes the mean leave-one-out hit ratio across users,
+// honouring Share-less privacy: each user is evaluated with the global
+// model plus their own private rows.
+func (s *Simulation) UtilityHR(k, numNeg int) float64 {
+	var sum float64
+	var evaluable int
+	for u := 0; u < s.cfg.Dataset.NumUsers; u++ {
+		m := s.effectiveModel(u)
+		if hit, ok := model.HitForUser(m, s.cfg.Dataset, u, k, numNeg, s.evalRng); ok {
+			sum += hit
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+// UtilityF1 computes the mean top-k F1 across users, honouring
+// Share-less privacy like UtilityHR.
+func (s *Simulation) UtilityF1(k int) float64 {
+	var sum float64
+	var evaluable int
+	for u := 0; u < s.cfg.Dataset.NumUsers; u++ {
+		m := s.effectiveModel(u)
+		if f1, ok := model.F1ForUser(m, s.cfg.Dataset, u, k); ok {
+			sum += f1
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+// effectiveModel returns the model user u would serve recommendations
+// with: the global model overlaid with u's private rows.
+func (s *Simulation) effectiveModel(u int) model.Recommender {
+	s.scratch.Params().CopyFrom(s.global.Params())
+	s.installPrivateRows(s.scratch, u)
+	return s.scratch
+}

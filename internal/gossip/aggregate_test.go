@@ -1,0 +1,120 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Hand-crafted inbox aggregation: uniform average over {own} ∪ inbox
+// for shared entries; own values kept for entries missing from
+// payloads.
+func TestAggregateInboxMath(t *testing.T) {
+	d, err := dataset.New("gagg", 3, 4, [][]int{{0}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(3, 4, 2),
+		Rounds:    1,
+		OutDegree: 2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := &s.nodes[0]
+	own := nd.m.Params()
+	ownH := append([]float64(nil), own.Get(model.GMFOutput)...)
+
+	mk := func(shift float64) *param.Set {
+		p := own.Clone()
+		for i := range p.Get(model.GMFOutput) {
+			p.Get(model.GMFOutput)[i] = shift
+		}
+		return p
+	}
+	nd.inbox = []Message{
+		{From: 1, To: 0, Params: mk(3)},
+		{From: 2, To: 0, Params: mk(6)},
+	}
+	s.aggregateInbox(nd)
+	for i, v := range own.Get(model.GMFOutput) {
+		want := (ownH[i] + 3 + 6) / 3
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("h[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestAggregateInboxKeepsPrivateEntries(t *testing.T) {
+	d, err := dataset.New("gagg2", 2, 4, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(2, 4, 2),
+		Rounds:    1,
+		OutDegree: 1,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := &s.nodes[0]
+	before := append([]float64(nil), nd.m.Params().Get(model.GMFUserEmb)...)
+	// A share-less payload: item embeddings only.
+	payload := nd.m.Params().Filter(model.GMFItemEmb)
+	for i := range payload.Get(model.GMFItemEmb) {
+		payload.Get(model.GMFItemEmb)[i] += 1
+	}
+	nd.inbox = []Message{{From: 1, To: 0, Params: payload}}
+	s.aggregateInbox(nd)
+	for i, v := range nd.m.Params().Get(model.GMFUserEmb) {
+		if v != before[i] {
+			t.Fatal("private user embeddings were averaged")
+		}
+	}
+}
+
+// Every node must keep receiving traffic over a long run (the random
+// peer-sampling property the protocols rely on).
+func TestInDegreeCoverage(t *testing.T) {
+	dd, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumUsers: 30, NumItems: 60, NumCommunities: 3,
+		MeanItemsPerUser: 8, MinItemsPerUser: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make([]int, dd.NumUsers)
+	cfg := Config{
+		Dataset: dd,
+		Factory: model.NewGMFFactory(dd.NumUsers, dd.NumItems, 4),
+		Rounds:  60,
+		Observer: observerFunc2(func(msg Message) {
+			received[msg.To]++
+		}),
+		Seed: 2,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	for u, n := range received {
+		if n == 0 {
+			t.Fatalf("node %d never received a model in 60 rounds", u)
+		}
+	}
+}
+
+type observerFunc2 func(Message)
+
+func (f observerFunc2) OnReceive(msg Message) { f(msg) }
+func (observerFunc2) OnRoundEnd(int)          {}

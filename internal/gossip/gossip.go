@@ -1,0 +1,469 @@
+// Package gossip simulates Gossip-Learning recommender systems
+// (§III-C): every user keeps a local model and exchanges it with
+// neighbours over a dynamic directed communication graph.
+//
+// Two protocol variants from the paper are implemented:
+//
+//   - Rand-Gossip (Hegedűs et al.): uniform random peer sampling;
+//   - Pers-Gossip (Pepper, Belal et al.): performance-aware peer
+//     sampling with an exploration ratio.
+//
+// The simulation is round-based: at each round every awake node pushes
+// its (policy-filtered) model to one sampled out-neighbour; nodes then
+// aggregate their inbox with uniform weights and run local training
+// steps — the (1) cast, (2) aggregate, (3) train sequence of §III-C.
+// Views are P-out-regular and refresh at Exp(rate)-distributed
+// intervals through a random peer-sampling service, matching the
+// paper's experimental setup (P = 3, p ~ Exp(0.1)).
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/defense"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Variant selects the peer-sampling behaviour.
+type Variant int
+
+const (
+	// RandGossip samples views uniformly at random.
+	RandGossip Variant = iota + 1
+	// PersGossip biases views towards peers whose models perform well
+	// on the local data, with an exploration ratio.
+	PersGossip
+)
+
+func (v Variant) String() string {
+	switch v {
+	case RandGossip:
+		return "rand-gossip"
+	case PersGossip:
+		return "pers-gossip"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Message is one model transfer as seen by the receiving node (and
+// therefore by an adversary controlling that node).
+type Message struct {
+	Round    int
+	From, To int
+	Params   *param.Set
+}
+
+// Observer receives every delivered message; adversary implementations
+// filter on To (the node(s) they control).
+type Observer interface {
+	OnReceive(msg Message)
+	OnRoundEnd(round int)
+}
+
+// Config parameterizes a gossip simulation.
+type Config struct {
+	Dataset *dataset.Dataset
+	Factory model.Factory
+	// Policy defaults to defense.FullSharing.
+	Policy defense.Policy
+	// Variant defaults to RandGossip.
+	Variant Variant
+
+	// Rounds is the number of gossip rounds (required, > 0).
+	Rounds int
+	// OutDegree is P, the out-view size (default 3, as in the paper).
+	OutDegree int
+	// ViewRefreshRate is the rate of the exponential law governing
+	// per-node view refresh intervals (default 0.1 ⇒ mean 10 rounds).
+	ViewRefreshRate float64
+	// ExplorationRatio is the Pers-Gossip exploration probability
+	// (default 0.4, as in the paper).
+	ExplorationRatio float64
+	// WakeProb is the per-round probability that a node wakes and
+	// pushes its model (default 1).
+	WakeProb float64
+	// StaticGraph disables view refreshing entirely — the ablation for
+	// the claim that gossip's privacy stems from its dynamics.
+	StaticGraph bool
+	// LossProb is the probability that a pushed model is lost in
+	// transit (never delivered, never observed). Failure injection for
+	// the decentralized setting.
+	LossProb float64
+
+	// Train is the local-training option template; Rand is ignored.
+	Train model.TrainOptions
+
+	Observer Observer
+	OnRound  func(round int, s *Simulation)
+
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Dataset == nil {
+		return fmt.Errorf("gossip: Config.Dataset is required")
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("gossip: Config.Factory is required")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("gossip: Config.Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.OutDegree < 0 || c.OutDegree >= c.Dataset.NumUsers {
+		return fmt.Errorf("gossip: OutDegree %d out of [0, numUsers)", c.OutDegree)
+	}
+	if c.WakeProb < 0 || c.WakeProb > 1 {
+		return fmt.Errorf("gossip: WakeProb %v out of [0,1]", c.WakeProb)
+	}
+	if c.ExplorationRatio < 0 || c.ExplorationRatio > 1 {
+		return fmt.Errorf("gossip: ExplorationRatio %v out of [0,1]", c.ExplorationRatio)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("gossip: LossProb %v out of [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// node is one gossip participant.
+type node struct {
+	m           model.Recommender
+	rng         *rand.Rand
+	view        []int
+	nextRefresh int
+	inbox       []Message
+	// preTrain snapshots the node's parameters after aggregation and
+	// before local training: the GL drift reference e_{j,u}^{t-1} and
+	// the DP delta baseline.
+	preTrain *param.Set
+	// probe is a fixed random item sample used by Pers-Gossip to
+	// baseline candidate-model relevance (lazily initialized).
+	probe []int
+}
+
+// Traffic accumulates delivered-message statistics.
+type Traffic struct {
+	Messages int
+	Bytes    int64
+}
+
+// Simulation is a running gossip system. Create with New, then call
+// Run (or RunRound repeatedly).
+type Simulation struct {
+	cfg     Config
+	nodes   []node
+	rng     *rand.Rand
+	evalRng *rand.Rand
+	round   int
+	traffic Traffic
+}
+
+// Traffic returns the accumulated delivered-message statistics.
+func (s *Simulation) Traffic() Traffic { return s.traffic }
+
+// New builds a gossip simulation from cfg. Defaults are applied before
+// validation so that e.g. a 3-node network is rejected (the default
+// out-degree P = 3 requires at least P+1 nodes) instead of panicking
+// later.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = defense.FullSharing{}
+	}
+	if cfg.Variant == 0 {
+		cfg.Variant = RandGossip
+	}
+	if cfg.OutDegree == 0 {
+		cfg.OutDegree = 3
+	}
+	if cfg.ViewRefreshRate == 0 {
+		cfg.ViewRefreshRate = 0.1
+	}
+	if cfg.ExplorationRatio == 0 {
+		cfg.ExplorationRatio = 0.4
+	}
+	if cfg.WakeProb == 0 {
+		cfg.WakeProb = 1
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	n := cfg.Dataset.NumUsers
+	s := &Simulation{
+		cfg:     cfg,
+		nodes:   make([]node, n),
+		rng:     rng,
+		evalRng: mathx.NewRand(cfg.Seed ^ 0xabcdef),
+	}
+	for u := 0; u < n; u++ {
+		m := cfg.Factory(rng.Uint64())
+		if m.NumUsers() != n || m.NumItems() != cfg.Dataset.NumItems {
+			return nil, fmt.Errorf("gossip: model shape %d/%d mismatches dataset %d/%d",
+				m.NumUsers(), m.NumItems(), n, cfg.Dataset.NumItems)
+		}
+		s.nodes[u] = node{
+			m:        m,
+			rng:      mathx.Split(rng),
+			preTrain: m.Params().Clone(),
+		}
+	}
+	for u := range s.nodes {
+		s.refreshView(u)
+		s.scheduleRefresh(u)
+	}
+	return s, nil
+}
+
+// Node returns node u's live model (do not mutate).
+func (s *Simulation) Node(u int) model.Recommender { return s.nodes[u].m }
+
+// View returns a copy of node u's current out-view.
+func (s *Simulation) View(u int) []int {
+	return append([]int(nil), s.nodes[u].view...)
+}
+
+// Round returns the number of completed rounds.
+func (s *Simulation) Round() int { return s.round }
+
+// Run executes all configured rounds.
+func (s *Simulation) Run() {
+	for s.round < s.cfg.Rounds {
+		s.RunRound()
+	}
+}
+
+// RunRound executes one gossip round.
+func (s *Simulation) RunRound() {
+	round := s.round
+
+	// View maintenance via the peer-sampling service.
+	if !s.cfg.StaticGraph {
+		for u := range s.nodes {
+			if s.nodes[u].nextRefresh <= round {
+				s.refreshView(u)
+				s.scheduleRefresh(u)
+			}
+		}
+	}
+
+	// Phase 1: awake nodes push to one sampled out-neighbour.
+	for u := range s.nodes {
+		nd := &s.nodes[u]
+		if len(nd.view) == 0 || !mathx.Bernoulli(nd.rng, s.cfg.WakeProb) {
+			continue
+		}
+		to := nd.view[nd.rng.IntN(len(nd.view))]
+		payload := s.cfg.Policy.Outgoing(nd.m, nd.preTrain, nd.rng)
+		if s.cfg.LossProb > 0 && mathx.Bernoulli(nd.rng, s.cfg.LossProb) {
+			continue // failure injection: message lost in transit
+		}
+		msg := Message{Round: round, From: u, To: to, Params: payload}
+		s.nodes[to].inbox = append(s.nodes[to].inbox, msg)
+		s.traffic.Messages++
+		s.traffic.Bytes += int64(payload.WireBytes())
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.OnReceive(msg)
+		}
+	}
+
+	// Phase 2: aggregate inboxes; Phase 3: local training.
+	for u := range s.nodes {
+		nd := &s.nodes[u]
+		if len(nd.inbox) > 0 {
+			s.aggregateInbox(nd)
+			nd.inbox = nd.inbox[:0]
+		}
+		nd.preTrain = nd.m.Params().Clone()
+		opt := s.cfg.Train
+		opt.Rand = nd.rng
+		s.cfg.Policy.PrepareTrain(&opt, nd.m, nd.preTrain)
+		nd.m.TrainLocal(s.cfg.Dataset, u, opt)
+	}
+
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnRoundEnd(round)
+	}
+	s.round++
+	if s.cfg.OnRound != nil {
+		s.cfg.OnRound(round, s)
+	}
+}
+
+// aggregateInbox merges received payloads into the node's model with
+// uniform weights over {own model} ∪ inbox, entry by entry. Entries
+// absent from a payload (Share-less user embeddings) keep the node's
+// own values — decentralized learning never averages what it never
+// receives.
+func (s *Simulation) aggregateInbox(nd *node) {
+	own := nd.m.Params()
+	for _, name := range own.Names() {
+		oe := own.Entry(name)
+		acc := make([]float64, len(oe.Data))
+		copy(acc, oe.Data)
+		cnt := 1.0
+		for _, msg := range nd.inbox {
+			if !msg.Params.Has(name) {
+				continue
+			}
+			mathx.Axpy(1, msg.Params.Get(name), acc)
+			cnt++
+		}
+		if cnt > 1 {
+			mathx.Scale(1/cnt, acc)
+			copy(oe.Data, acc)
+		}
+	}
+}
+
+// scheduleRefresh draws the node's next view-refresh time from
+// Exp(ViewRefreshRate), at least one round away.
+func (s *Simulation) scheduleRefresh(u int) {
+	delay := int(math.Round(mathx.Exponential(s.nodes[u].rng, s.cfg.ViewRefreshRate)))
+	if delay < 1 {
+		delay = 1
+	}
+	s.nodes[u].nextRefresh = s.round + delay
+}
+
+// refreshView resamples node u's out-view according to the variant.
+func (s *Simulation) refreshView(u int) {
+	n := len(s.nodes)
+	p := s.cfg.OutDegree
+	switch s.cfg.Variant {
+	case PersGossip:
+		s.nodes[u].view = s.persView(u, p)
+	default:
+		s.nodes[u].view = s.randView(u, p)
+	}
+	_ = n
+}
+
+// randView draws P distinct peers uniformly, excluding u itself.
+func (s *Simulation) randView(u, p int) []int {
+	n := len(s.nodes)
+	picked := mathx.SampleWithoutReplacement(s.nodes[u].rng, n-1, p)
+	view := make([]int, 0, p)
+	for _, v := range picked {
+		if v >= u {
+			v++ // shift over the excluded self index
+		}
+		view = append(view, v)
+	}
+	return view
+}
+
+// persView implements Pepper-style performance-aware sampling: gather
+// a candidate pool (current view plus random peers), rank candidates
+// by how well their model scores this node's training items, and fill
+// each view slot with the next-best candidate — except that with
+// probability ExplorationRatio the slot is filled uniformly at random.
+//
+// The simulation scores a candidate's live model directly; in a real
+// deployment the ranking uses models received earlier, but the
+// selection pressure — prefer peers with similar taste — is identical,
+// which is the property RQ3 measures.
+func (s *Simulation) persView(u, p int) []int {
+	nd := &s.nodes[u]
+	myItems := s.cfg.Dataset.Train[u]
+	pool := make(map[int]struct{}, 3*p)
+	for _, v := range nd.view {
+		pool[v] = struct{}{}
+	}
+	for _, v := range s.randView(u, min(2*p, len(s.nodes)-1)) {
+		pool[v] = struct{}{}
+	}
+	// Score = relevance lift of the candidate's model on my items over
+	// a random probe set. The subtraction removes the "globally
+	// better-trained model" confound so the ranking reflects taste
+	// alignment, which is what drives Pepper-style personalization.
+	probe := s.probeItems(u)
+	candidates := make([]int, 0, len(pool))
+	scores := make([]float64, 0, len(pool))
+	for v := range pool {
+		m := s.nodes[v].m
+		candidates = append(candidates, v)
+		scores = append(scores, m.Relevance(u, myItems)-m.Relevance(u, probe))
+	}
+	order := mathx.ArgsortDesc(scores)
+
+	view := make([]int, 0, p)
+	used := map[int]struct{}{u: {}}
+	next := 0
+	for len(view) < p {
+		var pick int
+		if mathx.Bernoulli(nd.rng, s.cfg.ExplorationRatio) || next >= len(order) {
+			pick = nd.rng.IntN(len(s.nodes))
+		} else {
+			pick = candidates[order[next]]
+			next++
+		}
+		if _, dup := used[pick]; dup {
+			// Fall back to uniform retry; the loop terminates because
+			// OutDegree < NumUsers.
+			continue
+		}
+		used[pick] = struct{}{}
+		view = append(view, pick)
+	}
+	return view
+}
+
+// probeItems returns node u's fixed random probe set (32 items or the
+// whole catalogue if smaller), creating it on first use.
+func (s *Simulation) probeItems(u int) []int {
+	nd := &s.nodes[u]
+	if nd.probe == nil {
+		n := s.cfg.Dataset.NumItems
+		k := 32
+		if k > n {
+			k = n
+		}
+		nd.probe = mathx.SampleWithoutReplacement(nd.rng, n, k)
+	}
+	return nd.probe
+}
+
+// UtilityHR is the mean leave-one-out hit ratio across nodes, each
+// evaluated with its own local model (GL has no global model).
+func (s *Simulation) UtilityHR(k, numNeg int) float64 {
+	var sum float64
+	var evaluable int
+	for u := range s.nodes {
+		if hit, ok := model.HitForUser(s.nodes[u].m, s.cfg.Dataset, u, k, numNeg, s.evalRng); ok {
+			sum += hit
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+// UtilityF1 is the mean top-k F1 across nodes on their local models.
+func (s *Simulation) UtilityF1(k int) float64 {
+	var sum float64
+	var evaluable int
+	for u := range s.nodes {
+		if f1, ok := model.F1ForUser(s.nodes[u].m, s.cfg.Dataset, u, k); ok {
+			sum += f1
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package mathx
+
+import "testing"
+
+func TestMatrixRowSetAt(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(1, 1, 7)
+	if m.At(1, 1) != 7 {
+		t.Fatalf("At(1,1) = %v, want 7", m.At(1, 1))
+	}
+	row := m.Row(1)
+	row[0] = 5 // row is a view, not a copy
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must return a mutable view")
+	}
+}
+
+func TestMatrixCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestMatrixCopyFrom(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	b.Set(1, 0, 3)
+	a.CopyFrom(b)
+	if a.At(1, 0) != 3 {
+		t.Fatal("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom must panic on shape mismatch")
+		}
+	}()
+	a.CopyFrom(NewMatrix(1, 2))
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec([]float64{1, 1, 1}, dst)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", dst)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 3)
+	m.MulVecT([]float64{1, 1}, dst)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMatrixBoundsPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.Row(2) },
+		func() { m.Row(-1) },
+		func() { m.At(0, 2) },
+		func() { m.Set(0, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected bounds panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRand(1)
+	c1 := Split(r)
+	c2 := Split(r)
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("split children too correlated: %d/64 equal draws", equal)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(7)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Normal(r, 2, 3)
+	}
+	if m := Mean(xs); math.Abs(m-2) > 0.1 {
+		t.Fatalf("sample mean %v, want ~2", m)
+	}
+	if s := StdDev(xs); math.Abs(s-3) > 0.1 {
+		t.Fatalf("sample stddev %v, want ~3", s)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(9)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Exponential(r, 0.1)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Fatalf("Exp(0.1) sample mean %v, want ~10", mean)
+	}
+}
+
+func TestZipfTableSkew(t *testing.T) {
+	r := NewRand(11)
+	z := NewZipfTable(100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := z.Draw(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatal("Zipf(1) should strongly favour low ranks")
+	}
+	// Theoretical P(0)/P(1) = 2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("P(0)/P(1) ratio %v, want ~2", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRand(13)
+	z := NewZipfTable(10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-10000) > 600 {
+			t.Fatalf("uniform Zipf bucket %d count %d, want ~10000", k, c)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRand(17)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 3}, {10, 10}, {1000, 5}, {50, 49}} {
+		got := SampleWithoutReplacement(r, tc.n, tc.k)
+		if len(got) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d samples", tc.n, tc.k, len(got))
+		}
+		seen := map[int]struct{}{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("sample %d out of range [0,%d)", v, tc.n)
+			}
+			if _, dup := seen[v]; dup {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	SampleWithoutReplacement(NewRand(1), 3, 4)
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRand(19)
+	w := []float64{0, 0, 1}
+	for i := 0; i < 100; i++ {
+		if WeightedChoice(r, w) != 2 {
+			t.Fatal("WeightedChoice must always pick the only positive weight")
+		}
+	}
+	// All-zero weights fall back to uniform over all indices.
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[WeightedChoice(r, []float64{0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 800 {
+			t.Fatalf("all-zero fallback not uniform: bucket %d = %d", i, c)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(23)
+	p := Perm(r, 100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in permutation", v)
+		}
+		seen[v] = true
+	}
+}

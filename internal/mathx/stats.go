@@ -1,0 +1,144 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// ArgsortDesc returns the indices of x ordered by decreasing value.
+// Ties break by ascending index so results are deterministic.
+func ArgsortDesc(x []float64) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] > x[idx[b]] })
+	return idx
+}
+
+// TopK returns the indices of the k largest values of x in decreasing
+// order. k is clamped to len(x).
+func TopK(x []float64, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return ArgsortDesc(x)[:k]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics. It panics on an empty slice
+// or an out-of-range q. The input is not modified.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("mathx: Quantile q out of [0,1]")
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Max returns the maximum of x. It panics on an empty slice.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of x. It panics on an empty slice.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of x
+// (0 for slices shorter than 2).
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	mu := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero entries contribute zero; the vector is assumed normalized.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// BinaryEntropy returns the entropy (nats) of a Bernoulli(p) variable,
+// clamping p into (0,1) to stay finite at the boundary.
+func BinaryEntropy(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}
+
+// JaccardInt computes the Jaccard index between two integer sets
+// represented as map[int]struct{}. Two empty sets have similarity 0,
+// matching the paper's convention that a user with no history belongs
+// to no community.
+func JaccardInt(a, b map[int]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	var inter int
+	for v := range small {
+		if _, ok := large[v]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,152 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArgsortDesc(t *testing.T) {
+	got := ArgsortDesc([]float64{1, 3, 2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgsortDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArgsortDescStableTies(t *testing.T) {
+	got := ArgsortDesc([]float64{5, 5, 5})
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ties must preserve index order: %v", got)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := []float64{0.1, 0.9, 0.5, 0.7}
+	got := TopK(x, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopK = %v, want [1 3]", got)
+	}
+	if got := TopK(x, 10); len(got) != 4 {
+		t.Fatalf("TopK must clamp k: got %d", len(got))
+	}
+	if got := TopK(x, 0); got != nil {
+		t.Fatalf("TopK(0) = %v, want nil", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(x, tt.q); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if x[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	// Property: Quantile is monotone in q.
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = v
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(x, a) <= Quantile(x, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	x := []float64{3, -1, 7}
+	if Max(x) != 7 || Min(x) != -1 {
+		t.Fatalf("Max/Min = %v/%v", Max(x), Min(x))
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{1, 0}); got != 0 {
+		t.Fatalf("deterministic entropy = %v, want 0", got)
+	}
+	if got := Entropy([]float64{0.5, 0.5}); !almostEq(got, math.Ln2, 1e-12) {
+		t.Fatalf("fair-coin entropy = %v, want ln2", got)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); !almostEq(got, math.Ln2, 1e-12) {
+		t.Fatalf("BinaryEntropy(0.5) = %v, want ln2", got)
+	}
+	// Boundary values must stay finite.
+	for _, p := range []float64{0, 1} {
+		if v := BinaryEntropy(p); math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("BinaryEntropy(%v) not finite: %v", p, v)
+		}
+	}
+	// Symmetry property.
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		return almostEq(BinaryEntropy(p), BinaryEntropy(1-p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardInt(t *testing.T) {
+	set := func(vs ...int) map[int]struct{} {
+		m := make(map[int]struct{}, len(vs))
+		for _, v := range vs {
+			m[v] = struct{}{}
+		}
+		return m
+	}
+	tests := []struct {
+		name string
+		a, b map[int]struct{}
+		want float64
+	}{
+		{"both empty", set(), set(), 0},
+		{"identical", set(1, 2), set(1, 2), 1},
+		{"disjoint", set(1), set(2), 0},
+		{"half", set(1, 2), set(2, 3), 1.0 / 3.0},
+		{"subset", set(1), set(1, 2, 3, 4), 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JaccardInt(tt.a, tt.b); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Jaccard = %v, want %v", got, tt.want)
+			}
+			// Symmetry.
+			if got := JaccardInt(tt.b, tt.a); !almostEq(got, tt.want, 1e-12) {
+				t.Errorf("Jaccard not symmetric")
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package mathx provides the small dense linear-algebra, sampling and
+// statistics substrate used by every other package in this repository.
+//
+// The recommendation models in the reproduced paper (GMF, PRME and a
+// one-hidden-layer MLP) only need dense vector arithmetic, so this
+// package deliberately stays minimal: contiguous []float64 vectors,
+// row-major matrices, and the handful of distributions the protocols
+// and datasets sample from. Everything is allocation-conscious because
+// the protocol simulators call these ops millions of times per run.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst += alpha*x element-wise.
+// It panics if the lengths differ.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("mathx: Axpy length mismatch %d != %d", len(x), len(dst)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Lerp overwrites dst with beta*dst + (1-beta)*x, the exponential
+// moving average step used by the attack's momentum tracker (Eq. 4 of
+// the paper). It panics if the lengths differ.
+func Lerp(beta float64, dst, x []float64) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("mathx: Lerp length mismatch %d != %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] = beta*dst[i] + (1-beta)*x[i]
+	}
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+// It panics if the lengths differ.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: SqDist length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ClipL2 scales x in place so that its L2 norm does not exceed c.
+// It returns the factor applied (1 when no clipping occurred).
+// A non-positive c leaves x untouched.
+func ClipL2(x []float64, c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	n := L2Norm(x)
+	if n <= c || n == 0 {
+		return 1
+	}
+	f := c / n
+	Scale(f, x)
+	return f
+}
+
+// Hadamard writes the element-wise product of a and b into dst.
+// dst may alias a or b. It panics if the lengths differ.
+func Hadamard(a, b, dst []float64) {
+	if len(a) != len(b) || len(a) != len(dst) {
+		panic("mathx: Hadamard length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in a numerically stable way.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogSigmoid returns log(sigmoid(x)) without overflow for large |x|.
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// Softmax overwrites x with its softmax. It is numerically stable and
+// safe for an all-equal input.
+func Softmax(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(v - m)
+		x[i] = e
+		sum += e
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+}
+
+// ReLU writes max(0, x_i) into dst. dst may alias x.
+func ReLU(x, dst []float64) {
+	if len(x) != len(dst) {
+		panic("mathx: ReLU length mismatch")
+	}
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}

@@ -1,0 +1,228 @@
+package model
+
+import (
+	"math"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Parameter-entry names shared with defenses and attacks.
+const (
+	BPRMFUserEmb  = "bprmf/user_emb"
+	BPRMFItemEmb  = "bprmf/item_emb"
+	BPRMFItemBias = "bprmf/item_bias"
+)
+
+// BPRMF is matrix factorization trained with the Bayesian Personalized
+// Ranking criterion (Rendle et al. 2009): score(u, i) = p_u · q_i + b_i,
+// optimized so observed items outrank sampled negatives.
+//
+// The paper evaluates GMF and PRME; BPR-MF is included as an extension
+// model (a third loss family) to check that CIA's leakage is not an
+// artifact of a particular training objective. It satisfies the same
+// Recommender contract, so every protocol, defense and attack works on
+// it unchanged.
+type BPRMF struct {
+	users, items, dim int
+	userEmb           *mathx.Matrix
+	itemEmb           *mathx.Matrix
+	itemBias          []float64
+	set               *param.Set
+}
+
+var _ Recommender = (*BPRMF)(nil)
+
+const (
+	bprmfDefaultLR = 0.05
+	bprmfDefaultL2 = 1e-4
+	bprmfInitStd   = 0.1
+)
+
+// NewBPRMF returns a randomly initialized BPR-MF model.
+func NewBPRMF(numUsers, numItems, dim int, seed uint64) *BPRMF {
+	if numUsers <= 0 || numItems <= 0 || dim <= 0 {
+		panic("model: NewBPRMF requires positive sizes")
+	}
+	r := mathx.NewRand(seed)
+	m := &BPRMF{
+		users:    numUsers,
+		items:    numItems,
+		dim:      dim,
+		userEmb:  mathx.NewMatrix(numUsers, dim),
+		itemEmb:  mathx.NewMatrix(numItems, dim),
+		itemBias: make([]float64, numItems),
+	}
+	mathx.FillNormal(r, m.userEmb.Data, 0, bprmfInitStd)
+	mathx.FillNormal(r, m.itemEmb.Data, 0, bprmfInitStd)
+	m.set = param.New()
+	m.set.AddMatrix(BPRMFUserEmb, m.userEmb)
+	m.set.AddMatrix(BPRMFItemEmb, m.itemEmb)
+	m.set.AddVector(BPRMFItemBias, m.itemBias)
+	return m
+}
+
+// NewBPRMFFactory returns a Factory producing BPR-MF models.
+func NewBPRMFFactory(numUsers, numItems, dim int) Factory {
+	return func(seed uint64) Recommender { return NewBPRMF(numUsers, numItems, dim, seed) }
+}
+
+func (m *BPRMF) Name() string       { return "bprmf" }
+func (m *BPRMF) Params() *param.Set { return m.set }
+func (m *BPRMF) NumUsers() int      { return m.users }
+func (m *BPRMF) NumItems() int      { return m.items }
+
+// Clone returns a deep copy with fresh storage.
+func (m *BPRMF) Clone() Recommender {
+	c := &BPRMF{
+		users:    m.users,
+		items:    m.items,
+		dim:      m.dim,
+		userEmb:  m.userEmb.Clone(),
+		itemEmb:  m.itemEmb.Clone(),
+		itemBias: append([]float64(nil), m.itemBias...),
+	}
+	c.set = param.New()
+	c.set.AddMatrix(BPRMFUserEmb, c.userEmb)
+	c.set.AddMatrix(BPRMFItemEmb, c.itemEmb)
+	c.set.AddVector(BPRMFItemBias, c.itemBias)
+	return c
+}
+
+func (m *BPRMF) score(vec []float64, item int) float64 {
+	return mathx.Dot(vec, m.itemEmb.Row(item)) + m.itemBias[item]
+}
+
+// Predict squashes the raw score through a sigmoid: BPR is a ranking
+// model, so this is a confidence proxy rather than a likelihood.
+func (m *BPRMF) Predict(owner, item int) float64 {
+	return mathx.Sigmoid(m.score(m.userEmb.Row(owner), item))
+}
+
+// Relevance is the mean raw score over items (Eq. 3's Ŷ).
+func (m *BPRMF) Relevance(owner int, items []int) float64 {
+	return m.RelevanceWithUserVec(m.userEmb.Row(owner), items)
+}
+
+// RelevanceWithUserVec scores items against an explicit user vector.
+func (m *BPRMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var s float64
+	for _, it := range items {
+		s += m.score(vec, it)
+	}
+	return s / float64(len(items))
+}
+
+// ScoreItems ranks candidates by raw score; prev is ignored.
+func (m *BPRMF) ScoreItems(owner, prev int, items []int, dst []float64) {
+	vec := m.userEmb.Row(owner)
+	for i, it := range items {
+		dst[i] = m.score(vec, it)
+	}
+}
+
+func (m *BPRMF) PrivateEntries() []string { return []string{BPRMFUserEmb} }
+func (m *BPRMF) ItemEntries() []string    { return []string{BPRMFItemEmb} }
+
+// TrainLocal runs BPR SGD over the user's items: each positive is
+// paired with NegPerPos sampled negatives.
+func (m *BPRMF) TrainLocal(d *dataset.Dataset, u int, opt TrainOptions) {
+	opt = opt.withDefaults(bprmfDefaultLR, bprmfDefaultL2)
+	items := d.Train[u]
+	if len(items) == 0 {
+		return
+	}
+	order := make([]int, len(items))
+	copy(order, items)
+	for e := 0; e < opt.Epochs; e++ {
+		mathx.Shuffle(opt.Rand, order)
+		for _, pos := range order {
+			for n := 0; n < opt.NegPerPos; n++ {
+				m.bprStep(u, pos, d.SampleNegative(opt.Rand, u), opt)
+			}
+		}
+	}
+}
+
+// bprStep: z = s(u,pos) − s(u,neg); loss −logσ(z); dL/dz = −σ(−z).
+func (m *BPRMF) bprStep(u, pos, neg int, opt TrainOptions) {
+	p := m.userEmb.Row(u)
+	qp, qn := m.itemEmb.Row(pos), m.itemEmb.Row(neg)
+	z := m.score(p, pos) - m.score(p, neg)
+	g := -mathx.Sigmoid(-z)
+
+	dim := m.dim
+	dP := make([]float64, dim)
+	dQp := make([]float64, dim)
+	dQn := make([]float64, dim)
+	for k := 0; k < dim; k++ {
+		dP[k] = g * (qp[k] - qn[k])
+		dQp[k] = g * p[k]
+		dQn[k] = -g * p[k]
+	}
+	dBp, dBn := g, -g
+
+	scale := 1.0
+	if opt.PerExampleClip > 0 {
+		var sq float64
+		for k := 0; k < dim; k++ {
+			sq += dP[k]*dP[k] + dQp[k]*dQp[k] + dQn[k]*dQn[k]
+		}
+		sq += dBp*dBp + dBn*dBn
+		if norm := math.Sqrt(sq); norm > opt.PerExampleClip {
+			scale = opt.PerExampleClip / norm
+		}
+	}
+	lr := opt.LR * scale
+	for k := 0; k < dim; k++ {
+		p[k] -= lr*dP[k] + opt.LR*opt.L2*p[k]
+		qp[k] -= lr*dQp[k] + opt.LR*opt.L2*qp[k]
+		qn[k] -= lr*dQn[k] + opt.LR*opt.L2*qn[k]
+	}
+	m.itemBias[pos] -= lr*dBp + opt.LR*opt.L2*m.itemBias[pos]
+	m.itemBias[neg] -= lr*dBn + opt.LR*opt.L2*m.itemBias[neg]
+
+	if opt.DriftTau > 0 {
+		ref := opt.DriftRef.Get(BPRMFItemEmb)
+		for _, it := range [2]int{pos, neg} {
+			row := m.itemEmb.Row(it)
+			base := it * dim
+			for k := 0; k < dim; k++ {
+				row[k] -= opt.LR * 2 * opt.DriftTau * (row[k] - ref[base+k])
+			}
+		}
+	}
+}
+
+// FitFictiveUser trains a fresh user vector by BPR against the target
+// items with sampled negatives, holding everything else fixed (§IV-C).
+// Unlike PRME there is no metric-space repulsion pathology: the dot-
+// product objective is maximized by aligning with the target items'
+// direction, so plain SGD converges to a useful reference basis.
+func (m *BPRMF) FitFictiveUser(items []int, opt TrainOptions) []float64 {
+	opt = opt.withDefaults(bprmfDefaultLR, bprmfDefaultL2)
+	vec := make([]float64, m.dim)
+	mathx.FillNormal(opt.Rand, vec, 0, bprmfInitStd)
+	if len(items) == 0 {
+		return vec
+	}
+	positives := asSet(items)
+	for e := 0; e < opt.Epochs; e++ {
+		for _, pos := range items {
+			for n := 0; n < opt.NegPerPos; n++ {
+				neg := negativeOutside(opt.Rand, m.items, positives)
+				z := m.score(vec, pos) - m.score(vec, neg)
+				g := -mathx.Sigmoid(-z)
+				qp, qn := m.itemEmb.Row(pos), m.itemEmb.Row(neg)
+				for k := 0; k < m.dim; k++ {
+					vec[k] -= opt.LR * (g*(qp[k]-qn[k]) + opt.L2*vec[k])
+				}
+			}
+		}
+	}
+	return vec
+}

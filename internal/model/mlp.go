@@ -1,0 +1,241 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// MLP is a fully-connected network with ReLU hidden activations and
+// either a softmax (multi-class) or sigmoid (binary) head. Two places
+// in the paper need it:
+//
+//   - §VIII-E (universality): a one-hidden-layer, 100-unit softmax
+//     classifier trained in FL on a non-iid image-like dataset;
+//   - §VIII-C2 (AIA proxy): a five-layer binary classifier trained on
+//     gradients to separate community members from non-members.
+type MLP struct {
+	sizes   []int
+	binary  bool
+	weights []*mathx.Matrix // weights[l]: sizes[l+1] × sizes[l]
+	biases  [][]float64     // biases[l]: sizes[l+1]
+	set     *param.Set
+
+	// forward/backward scratch, sized per layer.
+	acts   [][]float64 // acts[0] = input copy, acts[l+1] = layer l output
+	deltas [][]float64
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g.
+// [784, 100, 10]. binary selects a sigmoid head (sizes must then end
+// in 1); otherwise the head is a softmax over sizes[last] classes.
+func NewMLP(sizes []int, binary bool, seed uint64) *MLP {
+	if len(sizes) < 2 {
+		panic("model: NewMLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic("model: NewMLP layer sizes must be positive")
+		}
+	}
+	if binary && sizes[len(sizes)-1] != 1 {
+		panic("model: binary MLP must end in a single unit")
+	}
+	r := mathx.NewRand(seed)
+	m := &MLP{sizes: append([]int(nil), sizes...), binary: binary}
+	m.set = param.New()
+	for l := 0; l < len(sizes)-1; l++ {
+		w := mathx.NewMatrix(sizes[l+1], sizes[l])
+		// He initialization for the ReLU stack.
+		std := math.Sqrt(2 / float64(sizes[l]))
+		mathx.FillNormal(r, w.Data, 0, std)
+		b := make([]float64, sizes[l+1])
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, b)
+		m.set.AddMatrix(fmt.Sprintf("mlp/w%d", l), w)
+		m.set.AddVector(fmt.Sprintf("mlp/b%d", l), b)
+	}
+	m.acts = make([][]float64, len(sizes))
+	m.deltas = make([][]float64, len(sizes))
+	for l, s := range sizes {
+		m.acts[l] = make([]float64, s)
+		m.deltas[l] = make([]float64, s)
+	}
+	return m
+}
+
+// Params returns a live view of the network parameters.
+func (m *MLP) Params() *param.Set { return m.set }
+
+// Sizes returns the layer sizes.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// Clone returns a deep copy.
+func (m *MLP) Clone() *MLP {
+	c := NewMLP(m.sizes, m.binary, 0)
+	c.set.CopyFrom(m.set)
+	return c
+}
+
+// Forward runs the network on x and returns the output activations:
+// class probabilities (softmax) or a 1-element probability (sigmoid).
+// The returned slice is scratch owned by the model; copy to retain.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.sizes[0] {
+		panic(fmt.Sprintf("model: MLP input size %d != %d", len(x), m.sizes[0]))
+	}
+	copy(m.acts[0], x)
+	last := len(m.weights) - 1
+	for l, w := range m.weights {
+		out := m.acts[l+1]
+		w.MulVec(m.acts[l], out)
+		mathx.Axpy(1, m.biases[l], out)
+		if l < last {
+			mathx.ReLU(out, out)
+		}
+	}
+	out := m.acts[len(m.acts)-1]
+	if m.binary {
+		out[0] = mathx.Sigmoid(out[0])
+	} else {
+		mathx.Softmax(out)
+	}
+	return out
+}
+
+// Loss returns the cross-entropy of the model on (x, label); for a
+// binary head, label must be 0 or 1.
+func (m *MLP) Loss(x []float64, label int) float64 {
+	out := m.Forward(x)
+	const eps = 1e-12
+	if m.binary {
+		p := out[0]
+		if label == 1 {
+			return -math.Log(p + eps)
+		}
+		return -math.Log(1 - p + eps)
+	}
+	if label < 0 || label >= len(out) {
+		panic(fmt.Sprintf("model: label %d out of range", label))
+	}
+	return -math.Log(out[label] + eps)
+}
+
+// PredictClass returns the argmax class (softmax) or out[0] >= 0.5
+// mapped to {0,1} (binary).
+func (m *MLP) PredictClass(x []float64) int {
+	out := m.Forward(x)
+	if m.binary {
+		if out[0] >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	best := 0
+	for i, v := range out {
+		if v > out[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PredictProb returns the probability assigned to label.
+func (m *MLP) PredictProb(x []float64, label int) float64 {
+	out := m.Forward(x)
+	if m.binary {
+		if label == 1 {
+			return out[0]
+		}
+		return 1 - out[0]
+	}
+	return out[label]
+}
+
+// TrainExample applies one SGD step on (x, label) with learning rate
+// lr and returns the pre-update loss. Softmax + cross-entropy and
+// sigmoid + BCE share the same convenient output delta: p − y.
+func (m *MLP) TrainExample(x []float64, label int, lr float64) float64 {
+	out := m.Forward(x)
+	const eps = 1e-12
+	var loss float64
+	top := m.deltas[len(m.deltas)-1]
+	if m.binary {
+		y := float64(label)
+		loss = -y*math.Log(out[0]+eps) - (1-y)*math.Log(1-out[0]+eps)
+		top[0] = out[0] - y
+	} else {
+		loss = -math.Log(out[label] + eps)
+		copy(top, out)
+		top[label] -= 1
+	}
+
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		w := m.weights[l]
+		in := m.acts[l]
+		delta := m.deltas[l+1]
+		// Backprop into the previous layer before mutating w.
+		if l > 0 {
+			prev := m.deltas[l]
+			w.MulVecT(delta, prev)
+			// ReLU derivative gates on the post-activation values.
+			for k := range prev {
+				if m.acts[l][k] <= 0 {
+					prev[k] = 0
+				}
+			}
+		}
+		for j := 0; j < w.Rows; j++ {
+			row := w.Row(j)
+			g := delta[j]
+			for k := range row {
+				row[k] -= lr * g * in[k]
+			}
+			m.biases[l][j] -= lr * g
+		}
+	}
+	return loss
+}
+
+// Accuracy returns the classification accuracy over a sample batch.
+func (m *MLP) Accuracy(xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var hits int
+	for i, x := range xs {
+		if m.PredictClass(x) == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(xs))
+}
+
+// MeanLoss returns the mean cross-entropy over a sample batch.
+func (m *MLP) MeanLoss(xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for i, x := range xs {
+		s += m.Loss(x, labels[i])
+	}
+	return s / float64(len(xs))
+}
+
+// TrainEpoch shuffles the batch and applies one SGD pass, returning
+// the mean loss.
+func (m *MLP) TrainEpoch(r *rand.Rand, xs [][]float64, labels []int, lr float64) float64 {
+	order := mathx.Perm(r, len(xs))
+	var s float64
+	for _, i := range order {
+		s += m.TrainExample(xs[i], labels[i], lr)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

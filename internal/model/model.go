@@ -1,0 +1,156 @@
+// Package model implements the recommendation models evaluated in the
+// paper — Generalized Matrix Factorization (GMF, He et al. 2017) and
+// Personalized Ranking Metric Embedding (PRME, Feng et al. 2015) — plus
+// the small MLPs used by the universality experiment (§VIII-E) and the
+// AIA gradient classifier (§VIII-C2). Gradients are hand-derived and
+// exact; there is no autograd substrate.
+package model
+
+import (
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Recommender is the contract the collaborative-learning protocols,
+// defenses and attacks require from a recommendation model.
+//
+// Identity convention: models carry the full user-embedding table (the
+// paper's "full model sharing" baseline), and a model received from
+// user u is scored with u's own embedding row.
+type Recommender interface {
+	// Name identifies the model family ("gmf", "prme").
+	Name() string
+	// Params returns a live view of the model's parameters: mutating
+	// the returned set mutates the model. Clone it to snapshot.
+	Params() *param.Set
+	// Clone returns a deep copy.
+	Clone() Recommender
+	NumUsers() int
+	NumItems() int
+
+	// TrainLocal runs local SGD on user u's training data, exactly as
+	// a protocol client would between model exchanges.
+	TrainLocal(d *dataset.Dataset, u int, opt TrainOptions)
+
+	// Relevance returns the mean relevance score the model assigns to
+	// items when asked on behalf of owner — the quantity
+	// Ŷ(Θ_u, V_target) from Eq. 3. Higher means "owner likes these
+	// items more". Scores are comparable across models of one family.
+	Relevance(owner int, items []int) float64
+
+	// RelevanceWithUserVec scores items against an explicit user
+	// vector instead of a stored row. The Share-less adaptation of CIA
+	// (§IV-C) passes the adversary's fictive-user embedding here.
+	RelevanceWithUserVec(vec []float64, items []int) float64
+
+	// FitFictiveUser trains a fresh user vector representing "a user
+	// who likes items", holding every other parameter fixed (§IV-C).
+	FitFictiveUser(items []int, opt TrainOptions) []float64
+
+	// Predict returns the model's probability-like confidence in
+	// owner liking item, in (0,1). The entropy-based MIA thresholds
+	// the binary entropy of this value.
+	Predict(owner, item int) float64
+
+	// ScoreItems writes a ranking score for each candidate item into
+	// dst (len(dst) == len(items)). prev is the id of the user's most
+	// recent item for sequence-aware models, or -1; GMF ignores it.
+	ScoreItems(owner, prev int, items []int, dst []float64)
+
+	// PrivateEntries lists the parameter entries the Share-less policy
+	// withholds from messages (the user-embedding tables).
+	PrivateEntries() []string
+
+	// ItemEntries lists the item-embedding entries subject to the
+	// Share-less drift regularizer (Eq. 2).
+	ItemEntries() []string
+}
+
+// TrainOptions configures one local-training call. The zero value asks
+// the model for its defaults (per-family learning rate, one epoch,
+// NCF-style 4 negatives per positive).
+type TrainOptions struct {
+	// Epochs is the number of passes over the user's items (default 1).
+	Epochs int
+	// LR overrides the model's default learning rate when > 0.
+	LR float64
+	// NegPerPos is the number of sampled negatives per positive
+	// (default 4, as in the NCF evaluation protocol).
+	NegPerPos int
+	// L2 is the weight-decay coefficient on touched embeddings
+	// (default: model-specific).
+	L2 float64
+
+	// DriftTau enables the Share-less item-drift regularizer (Eq. 2)
+	// when > 0: touched item embeddings are pulled towards their value
+	// in DriftRef with strength tau.
+	DriftTau float64
+	// DriftRef holds the reference (received) parameters for the drift
+	// regularizer. Required when DriftTau > 0.
+	DriftRef *param.Set
+
+	// PerExampleClip > 0 clips each example's gradient to this L2 norm
+	// before applying it (the clipping half of DP-SGD; the calibrated
+	// noise is added to the shared update by internal/defense).
+	PerExampleClip float64
+
+	// Rand is the client's RNG; required (training is stochastic).
+	Rand *rand.Rand
+}
+
+func (o TrainOptions) withDefaults(lr, l2 float64) TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
+	if o.LR <= 0 {
+		o.LR = lr
+	}
+	if o.NegPerPos <= 0 {
+		o.NegPerPos = 4
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	} else if o.L2 == 0 {
+		o.L2 = l2
+	}
+	if o.Rand == nil {
+		panic("model: TrainOptions.Rand is required")
+	}
+	if o.DriftTau > 0 && o.DriftRef == nil {
+		panic("model: DriftTau requires DriftRef")
+	}
+	return o
+}
+
+// Factory builds a fresh, randomly-initialized model. Protocols use it
+// to give every gossip node its own starting point and the FL server
+// its global model.
+type Factory func(seed uint64) Recommender
+
+// negativeOutside draws an item id outside the given positive set —
+// the negative-sampling rule of the fictive interaction matrix R_A
+// (§IV-C): non-member examples come from V ∖ V_target. Sampling
+// negatives from the full catalogue would let them collide with the
+// target items and cancel the positive updates.
+func negativeOutside(r *rand.Rand, numItems int, positives map[int]struct{}) int {
+	if len(positives) >= numItems {
+		panic("model: no negatives outside the positive set")
+	}
+	for {
+		it := r.IntN(numItems)
+		if _, ok := positives[it]; !ok {
+			return it
+		}
+	}
+}
+
+// asSet converts an item list to a set for negativeOutside.
+func asSet(items []int) map[int]struct{} {
+	s := make(map[int]struct{}, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}

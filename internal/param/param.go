@@ -1,0 +1,338 @@
+// Package param provides named dense parameter sets — the wire format
+// of the simulated collaborative-learning protocols.
+//
+// A model registers each of its tensors (user embeddings, item
+// embeddings, output weights, ...) under a stable name. Protocol
+// messages, FedAvg aggregation, gossip merging, the attack's momentum
+// tracker (Eq. 4 of the paper) and the Share-less parameter filter all
+// operate uniformly on these sets, so none of them needs to know which
+// recommendation model is being trained.
+package param
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+// Entry is one named dense tensor. Data is row-major with Rows*Cols
+// elements; vectors use Cols == 1.
+type Entry struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Set is an ordered collection of named tensors. The zero value is an
+// empty set ready to use.
+type Set struct {
+	entries []Entry
+	index   map[string]int
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{index: make(map[string]int)}
+}
+
+// Add registers a tensor under name, adopting (not copying) data.
+// Models register their live storage so a Set doubles as a mutable
+// view of the model; use Clone to snapshot it for a message.
+// It panics on duplicate names or when len(data) != rows*cols.
+func (s *Set) Add(name string, rows, cols int, data []float64) {
+	if s.index == nil {
+		s.index = make(map[string]int)
+	}
+	if _, dup := s.index[name]; dup {
+		panic(fmt.Sprintf("param: duplicate entry %q", name))
+	}
+	if rows*cols != len(data) {
+		panic(fmt.Sprintf("param: entry %q shape %dx%d != len %d", name, rows, cols, len(data)))
+	}
+	s.index[name] = len(s.entries)
+	s.entries = append(s.entries, Entry{Name: name, Rows: rows, Cols: cols, Data: data})
+}
+
+// AddVector registers a length-n vector under name.
+func (s *Set) AddVector(name string, data []float64) {
+	s.Add(name, len(data), 1, data)
+}
+
+// AddMatrix registers a mathx.Matrix under name, adopting its storage.
+func (s *Set) AddMatrix(name string, m *mathx.Matrix) {
+	s.Add(name, m.Rows, m.Cols, m.Data)
+}
+
+// Has reports whether the set contains an entry called name.
+func (s *Set) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// Get returns the backing slice of the named entry.
+// It panics if the entry does not exist.
+func (s *Set) Get(name string) []float64 {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("param: no entry %q", name))
+	}
+	return s.entries[i].Data
+}
+
+// Entry returns the full entry metadata for name.
+// It panics if the entry does not exist.
+func (s *Set) Entry(name string) Entry {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("param: no entry %q", name))
+	}
+	return s.entries[i]
+}
+
+// Names returns the entry names in registration order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (s *Set) Len() int { return len(s.entries) }
+
+// NumParams returns the total number of scalar parameters.
+func (s *Set) NumParams() int {
+	var n int
+	for _, e := range s.entries {
+		n += len(e.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy of s (fresh backing storage).
+func (s *Set) Clone() *Set {
+	out := New()
+	for _, e := range s.entries {
+		d := make([]float64, len(e.Data))
+		copy(d, e.Data)
+		out.Add(e.Name, e.Rows, e.Cols, d)
+	}
+	return out
+}
+
+// Filter returns a deep copy containing only the entries whose names
+// appear in keep. Missing names are ignored, so defenses can express
+// "share item embeddings and the output layer" without knowing every
+// model's full inventory. Registration order is preserved.
+func (s *Set) Filter(keep ...string) *Set {
+	want := make(map[string]struct{}, len(keep))
+	for _, k := range keep {
+		want[k] = struct{}{}
+	}
+	out := New()
+	for _, e := range s.entries {
+		if _, ok := want[e.Name]; !ok {
+			continue
+		}
+		d := make([]float64, len(e.Data))
+		copy(d, e.Data)
+		out.Add(e.Name, e.Rows, e.Cols, d)
+	}
+	return out
+}
+
+// Without returns a deep copy excluding the named entries.
+func (s *Set) Without(drop ...string) *Set {
+	skip := make(map[string]struct{}, len(drop))
+	for _, d := range drop {
+		skip[d] = struct{}{}
+	}
+	out := New()
+	for _, e := range s.entries {
+		if _, ok := skip[e.Name]; ok {
+			continue
+		}
+		d := make([]float64, len(e.Data))
+		copy(d, e.Data)
+		out.Add(e.Name, e.Rows, e.Cols, d)
+	}
+	return out
+}
+
+// sameShape panics unless a and b contain identical entries
+// (names, order, shapes).
+func sameShape(op string, a, b *Set) {
+	if len(a.entries) != len(b.entries) {
+		panic(fmt.Sprintf("param: %s entry count mismatch %d != %d", op, len(a.entries), len(b.entries)))
+	}
+	for i, e := range a.entries {
+		o := b.entries[i]
+		if e.Name != o.Name || e.Rows != o.Rows || e.Cols != o.Cols {
+			panic(fmt.Sprintf("param: %s entry %d mismatch %q(%dx%d) != %q(%dx%d)",
+				op, i, e.Name, e.Rows, e.Cols, o.Name, o.Rows, o.Cols))
+		}
+	}
+}
+
+// CopyFrom overwrites s with the values of src (shapes must match).
+func (s *Set) CopyFrom(src *Set) {
+	sameShape("CopyFrom", s, src)
+	for i := range s.entries {
+		copy(s.entries[i].Data, src.entries[i].Data)
+	}
+}
+
+// CopyShared overwrites only the entries of s that also exist in src
+// (matching shapes required). It returns the number of entries copied.
+// This is how a Share-less client installs a received partial model.
+func (s *Set) CopyShared(src *Set) int {
+	var n int
+	for i := range s.entries {
+		e := &s.entries[i]
+		j, ok := src.index[e.Name]
+		if !ok {
+			continue
+		}
+		o := src.entries[j]
+		if o.Rows != e.Rows || o.Cols != e.Cols {
+			panic(fmt.Sprintf("param: CopyShared shape mismatch for %q", e.Name))
+		}
+		copy(e.Data, o.Data)
+		n++
+	}
+	return n
+}
+
+// Zero sets every parameter to zero.
+func (s *Set) Zero() {
+	for _, e := range s.entries {
+		mathx.Zero(e.Data)
+	}
+}
+
+// Axpy computes s += alpha*x element-wise (shapes must match).
+func (s *Set) Axpy(alpha float64, x *Set) {
+	sameShape("Axpy", s, x)
+	for i := range s.entries {
+		mathx.Axpy(alpha, x.entries[i].Data, s.entries[i].Data)
+	}
+}
+
+// Scale multiplies every parameter by alpha.
+func (s *Set) Scale(alpha float64) {
+	for _, e := range s.entries {
+		mathx.Scale(alpha, e.Data)
+	}
+}
+
+// Lerp performs the momentum update s = beta*s + (1-beta)*x (Eq. 4).
+func (s *Set) Lerp(beta float64, x *Set) {
+	sameShape("Lerp", s, x)
+	for i := range s.entries {
+		mathx.Lerp(beta, s.entries[i].Data, x.entries[i].Data)
+	}
+}
+
+// L2Norm returns the Euclidean norm over all parameters.
+func (s *Set) L2Norm() float64 {
+	var sq float64
+	for _, e := range s.entries {
+		n := mathx.L2Norm(e.Data)
+		sq += n * n
+	}
+	return math.Sqrt(sq)
+}
+
+// ClipL2 scales all parameters jointly so the global L2 norm does not
+// exceed c, returning the factor applied (1 when no clipping occurred).
+func (s *Set) ClipL2(c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	n := s.L2Norm()
+	if n <= c || n == 0 {
+		return 1
+	}
+	f := c / n
+	s.Scale(f)
+	return f
+}
+
+// AddNoise adds independent N(0, stddev²) noise to every parameter
+// using the provided generator-backed source.
+func (s *Set) AddNoise(noise func() float64, stddev float64) {
+	if stddev <= 0 {
+		return
+	}
+	for _, e := range s.entries {
+		for i := range e.Data {
+			e.Data[i] += stddev * noise()
+		}
+	}
+}
+
+// WeightedSum overwrites dst with sum_i weights[i]*sets[i]. All sets
+// (and dst) must share the same shape. Weights are used as given; the
+// caller normalizes if averaging is intended.
+func WeightedSum(dst *Set, sets []*Set, weights []float64) {
+	if len(sets) != len(weights) {
+		panic("param: WeightedSum sets/weights length mismatch")
+	}
+	dst.Zero()
+	for i, s := range sets {
+		dst.Axpy(weights[i], s)
+	}
+}
+
+// UniformAverage overwrites dst with the unweighted mean of sets.
+// It panics on an empty input.
+func UniformAverage(dst *Set, sets []*Set) {
+	if len(sets) == 0 {
+		panic("param: UniformAverage of no sets")
+	}
+	w := make([]float64, len(sets))
+	for i := range w {
+		w[i] = 1 / float64(len(sets))
+	}
+	WeightedSum(dst, sets, w)
+}
+
+// Equal reports whether a and b have the same structure and all values
+// within tol of each other.
+func Equal(a, b *Set, tol float64) bool {
+	if len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i, e := range a.entries {
+		o := b.entries[i]
+		if e.Name != o.Name || e.Rows != o.Rows || e.Cols != o.Cols {
+			return false
+		}
+		for j := range e.Data {
+			d := e.Data[j] - o.Data[j]
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a compact structural description, e.g.
+// "{item_emb:100x16 user_emb:50x16}".
+func (s *Set) String() string {
+	names := s.Names()
+	sort.Strings(names)
+	out := "{"
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		e := s.Entry(n)
+		out += fmt.Sprintf("%s:%dx%d", n, e.Rows, e.Cols)
+	}
+	return out + "}"
+}

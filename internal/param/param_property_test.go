@@ -1,0 +1,114 @@
+package param
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(vs []float64) []float64 {
+	out := make([]float64, 6)
+	for i := range out {
+		if i < len(vs) {
+			v := vs[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			out[i] = math.Mod(v, 1e6)
+		}
+	}
+	return out
+}
+
+// WeightedSum is linear: WeightedSum(a, w) + WeightedSum(b, w) ==
+// WeightedSum(a+b, w) element-wise.
+func TestWeightedSumLinearityProperty(t *testing.T) {
+	f := func(rawA, rawB []float64, w1, w2 float64) bool {
+		va, vb := sanitize(rawA), sanitize(rawB)
+		if math.IsNaN(w1) || math.IsInf(w1, 0) {
+			w1 = 0.5
+		}
+		if math.IsNaN(w2) || math.IsInf(w2, 0) {
+			w2 = 0.25
+		}
+		w1, w2 = math.Mod(w1, 100), math.Mod(w2, 100)
+
+		a := newTestSet(va...)
+		b := newTestSet(vb...)
+		sum := newTestSet(va...)
+		sum.Axpy(1, b)
+
+		lhs := newTestSet()
+		WeightedSum(lhs, []*Set{a, b}, []float64{w1, w2})
+
+		rhsA := newTestSet()
+		WeightedSum(rhsA, []*Set{a}, []float64{w1})
+		rhsB := newTestSet()
+		WeightedSum(rhsB, []*Set{b}, []float64{w2})
+		rhsA.Axpy(1, rhsB)
+
+		scale := math.Abs(w1) + math.Abs(w2) + 1
+		var maxAbs float64
+		for _, v := range append(va, vb...) {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		tol := 1e-9 * scale * (maxAbs + 1)
+		return Equal(lhs, rhsA, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Filter(names) and Without(names) partition the entry set.
+func TestFilterWithoutComplementProperty(t *testing.T) {
+	f := func(raw []float64, keepBias bool) bool {
+		s := newTestSet(sanitize(raw)...)
+		var name string
+		if keepBias {
+			name = "bias"
+		} else {
+			name = "emb"
+		}
+		kept := s.Filter(name)
+		dropped := s.Without(name)
+		return kept.Len()+dropped.Len() == s.Len() &&
+			kept.Has(name) && !dropped.Has(name) &&
+			kept.NumParams()+dropped.NumParams() == s.NumParams()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clip then norm never exceeds the threshold; clipping twice is
+// idempotent.
+func TestClipIdempotentProperty(t *testing.T) {
+	f := func(raw []float64, cRaw float64) bool {
+		c := math.Abs(math.Mod(cRaw, 50)) + 0.1
+		s := newTestSet(sanitize(raw)...)
+		s.ClipL2(c)
+		n1 := s.L2Norm()
+		s.ClipL2(c)
+		n2 := s.L2Norm()
+		return n1 <= c*(1+1e-9) && math.Abs(n1-n2) <= 1e-9*(n1+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scale then Axpy inverse: s + (-1)*s == 0.
+func TestAxpySelfInverseProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := newTestSet(sanitize(raw)...)
+		c := s.Clone()
+		s.Axpy(-1, c)
+		return s.L2Norm() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package param
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization for parameter sets: model checkpointing, and
+// the byte-accounting basis for the protocols' communication metrics.
+//
+// Format (little-endian):
+//
+//	magic "CPS1" | uint32 numEntries | entries...
+//	entry: uint32 nameLen | name | uint32 rows | uint32 cols | float64s
+const serializeMagic = "CPS1"
+
+// WriteTo serializes the set. It implements io.WriterTo.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(serializeMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(serializeMagic))
+	if err := write(uint32(len(s.entries))); err != nil {
+		return n, err
+	}
+	for _, e := range s.entries {
+		if err := write(uint32(len(e.Name))); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(e.Name); err != nil {
+			return n, err
+		}
+		n += int64(len(e.Name))
+		if err := write(uint32(e.Rows)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(e.Cols)); err != nil {
+			return n, err
+		}
+		if err := write(e.Data); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a set previously produced by WriteTo,
+// replacing the receiver's contents. It implements io.ReaderFrom.
+func (s *Set) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var n int64
+	read := func(data any) error {
+		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	magic := make([]byte, len(serializeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return n, fmt.Errorf("param: read magic: %w", err)
+	}
+	n += int64(len(magic))
+	if string(magic) != serializeMagic {
+		return n, fmt.Errorf("param: bad magic %q", magic)
+	}
+	var count uint32
+	if err := read(&count); err != nil {
+		return n, fmt.Errorf("param: read entry count: %w", err)
+	}
+	if count > 1<<20 {
+		return n, fmt.Errorf("param: implausible entry count %d", count)
+	}
+	out := New()
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := read(&nameLen); err != nil {
+			return n, fmt.Errorf("param: entry %d name length: %w", i, err)
+		}
+		if nameLen > 4096 {
+			return n, fmt.Errorf("param: entry %d name too long (%d)", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return n, fmt.Errorf("param: entry %d name: %w", i, err)
+		}
+		n += int64(nameLen)
+		var rows, cols uint32
+		if err := read(&rows); err != nil {
+			return n, err
+		}
+		if err := read(&cols); err != nil {
+			return n, err
+		}
+		size := uint64(rows) * uint64(cols)
+		if size > 1<<32 {
+			return n, fmt.Errorf("param: entry %q implausible size %d", name, size)
+		}
+		data := make([]float64, size)
+		if err := read(data); err != nil {
+			return n, fmt.Errorf("param: entry %q data: %w", name, err)
+		}
+		for _, v := range data {
+			if math.IsNaN(v) {
+				return n, fmt.Errorf("param: entry %q contains NaN", name)
+			}
+		}
+		out.Add(string(name), int(rows), int(cols), data)
+	}
+	*s = *out
+	return n, nil
+}
+
+// WireBytes returns the serialized size of the set without writing it:
+// the message-size accounting used by the protocols' traffic metrics.
+func (s *Set) WireBytes() int {
+	n := len(serializeMagic) + 4
+	for _, e := range s.entries {
+		n += 4 + len(e.Name) + 8 + 8*len(e.Data)
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package param
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	s := newTestSet(1.5, -2, 0, 4.25, 1e-9, 6e12)
+	var buf bytes.Buffer
+	wrote, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", wrote, buf.Len())
+	}
+	if int(wrote) != s.WireBytes() {
+		t.Fatalf("WireBytes %d != actual %d", s.WireBytes(), wrote)
+	}
+	out := New()
+	read, err := out.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != wrote {
+		t.Fatalf("read %d bytes, want %d", read, wrote)
+	}
+	if !Equal(s, out, 0) {
+		t.Fatal("round trip changed values")
+	}
+	// Entry order and shapes preserved.
+	if strings.Join(out.Names(), ",") != strings.Join(s.Names(), ",") {
+		t.Fatal("entry order lost")
+	}
+}
+
+func TestSerializeEmptySet(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := newTestSet(1, 2) // non-empty receiver gets replaced
+	if _, err := out.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("deserialized empty set has entries")
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input": {},
+		"bad magic":   []byte("XXXX\x00\x00\x00\x00"),
+		"truncated":   []byte("CPS1\x02\x00\x00\x00"),
+	}
+	for name, in := range cases {
+		out := New()
+		if _, err := out.ReadFrom(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDeserializeRejectsNaN(t *testing.T) {
+	s := New()
+	s.AddVector("v", []float64{1})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the float into a NaN (all-ones exponent + mantissa bit).
+	b := buf.Bytes()
+	for i := len(b) - 8; i < len(b); i++ {
+		b[i] = 0xFF
+	}
+	out := New()
+	if _, err := out.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("NaN payload must be rejected")
+	}
+}
+
+func TestWireBytesMatchesModelScale(t *testing.T) {
+	s := New()
+	s.Add("m", 10, 4, make([]float64, 40))
+	want := 4 + 4 + (4 + 1 + 8 + 8*40)
+	if got := s.WireBytes(); got != want {
+		t.Fatalf("WireBytes = %d, want %d", got, want)
+	}
+}
