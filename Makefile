@@ -1,0 +1,34 @@
+GO ?= go
+# benchstat needs several samples per benchmark to compute intervals.
+BENCH_COUNT ?= 6
+
+.PHONY: all build vet test race bench bench-tables
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout=40m ./...
+
+# Microbenchmarks of the round engine and the parameter pipeline,
+# emitted in benchstat-comparable form. Compare two trees with e.g.
+#
+#	make bench > old.txt   # on the baseline checkout
+#	make bench > new.txt   # on the candidate
+#	benchstat old.txt new.txt
+bench:
+	$(GO) test -run='^$$' -count=$(BENCH_COUNT) -benchmem \
+		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone' \
+		./internal/fed/ ./internal/gossip/ ./internal/param/
+
+# Full paper-table reproduction pass (one iteration per table).
+bench-tables:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .

@@ -72,6 +72,10 @@ const (
 // LoadMovieLens100K, then apply exactly one split before running.
 type Dataset struct {
 	inner *dataset.Dataset
+	// splitOK caches a successful ensureSplit answer so repeated Run
+	// calls don't rescan every user; splits only ever add held-out
+	// interactions, so a positive answer never goes stale.
+	splitOK bool
 }
 
 // MovieLensLike builds a synthetic dataset shaped like MovieLens-100k
@@ -195,8 +199,12 @@ func (d *Dataset) Jaccard(u, v int) float64 {
 }
 
 func (d *Dataset) ensureSplit() error {
+	if d.splitOK {
+		return nil
+	}
 	for u := 0; u < d.inner.NumUsers; u++ {
 		if len(d.inner.Test[u]) > 0 {
+			d.splitOK = true
 			return nil
 		}
 	}

@@ -1,0 +1,3 @@
+module github.com/collablearn/ciarec
+
+go 1.24.0

@@ -15,6 +15,7 @@ package attack
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/collablearn/ciarec/internal/evalx"
@@ -22,8 +23,14 @@ import (
 )
 
 // Evaluator scores a loaded model state against registered targets.
-// Implementations are not safe for concurrent use; CIA serializes
-// calls per evaluator and uses NewEval for parallel scoring.
+//
+// Concurrency contract: implementations need NOT be safe for
+// concurrent use. CIA partitions senders across at most Workers
+// goroutines, gives each goroutine its own evaluator (the configured
+// Eval plus instances from NewEval), and guarantees that Load and the
+// Score calls that follow it are issued from a single goroutine at a
+// time per evaluator. Evaluators sharing read-only state (e.g. target
+// item sets) is fine; sharing a mutable scratch model is not.
 type Evaluator interface {
 	// Load installs a (momentum-averaged) model state for scoring.
 	Load(state *param.Set)
@@ -48,7 +55,9 @@ type Config struct {
 	// NewEval optionally supplies extra evaluators for parallel
 	// scoring; Workers > 1 requires it.
 	NewEval func() Evaluator
-	// Workers bounds scoring concurrency (default 1, serial).
+	// Workers bounds scoring concurrency. 0 defaults to
+	// runtime.NumCPU() when NewEval is set (parallel scoring is
+	// available) and to 1 otherwise; negative forces serial.
 	Workers int
 }
 
@@ -59,6 +68,10 @@ type CIA struct {
 	scores  [][]float64        // [target][sender]
 	hasSeen []bool             // sender observed at least once
 	dirty   map[int]struct{}   // senders whose state changed since last EndRound
+	// extraEvals caches the NewEval-built evaluators for workers 1..W-1
+	// across rounds (worker 0 uses cfg.Eval); evaluators carry no
+	// state between rounds, so building them once is enough.
+	extraEvals []Evaluator
 }
 
 // New builds a CIA instance. It panics on an invalid configuration
@@ -73,7 +86,14 @@ func New(cfg Config) *CIA {
 	if cfg.Beta < 0 || cfg.Beta >= 1 {
 		panic(fmt.Sprintf("attack: Beta %v out of [0,1)", cfg.Beta))
 	}
-	if cfg.Workers <= 0 {
+	if cfg.Workers == 0 {
+		if cfg.NewEval != nil {
+			cfg.Workers = runtime.NumCPU()
+		} else {
+			cfg.Workers = 1
+		}
+	}
+	if cfg.Workers < 0 {
 		cfg.Workers = 1
 	}
 	if cfg.Workers > 1 && cfg.NewEval == nil {
@@ -137,7 +157,10 @@ func (c *CIA) EndRound() {
 		}
 		ev := c.cfg.Eval
 		if w > 0 {
-			ev = c.cfg.NewEval()
+			for len(c.extraEvals) < w {
+				c.extraEvals = append(c.extraEvals, c.cfg.NewEval())
+			}
+			ev = c.extraEvals[w-1]
 		}
 		wg.Add(1)
 		go func(ev Evaluator, part []int) {

@@ -34,8 +34,10 @@ type Policy interface {
 	// after local training. prev is a snapshot of the client's
 	// parameters before local training (DP-SGD clips and noises the
 	// prev→current delta). The returned set must not alias model
-	// storage.
-	Outgoing(m model.Recommender, prev *param.Set, rng *rand.Rand) *param.Set
+	// storage. buf is an optional recycled-set pool (nil is valid and
+	// falls back to plain allocation); payloads drawn from it are
+	// returned to it by the simulator once the round is over.
+	Outgoing(m model.Recommender, prev *param.Set, rng *rand.Rand, buf *param.Buffers) *param.Set
 }
 
 // FullSharing is the no-defense baseline: the complete model is shared
@@ -51,8 +53,8 @@ func (FullSharing) Name() string { return "full" }
 func (FullSharing) PrepareTrain(*model.TrainOptions, model.Recommender, *param.Set) {}
 
 // Outgoing implements Policy: a deep copy of all parameters.
-func (FullSharing) Outgoing(m model.Recommender, _ *param.Set, _ *rand.Rand) *param.Set {
-	return m.Params().Clone()
+func (FullSharing) Outgoing(m model.Recommender, _ *param.Set, _ *rand.Rand, buf *param.Buffers) *param.Set {
+	return buf.Clone(m.Params())
 }
 
 // ShareLess implements the §III-D policy: user embeddings never leave
@@ -86,8 +88,8 @@ func (p ShareLess) PrepareTrain(opt *model.TrainOptions, m model.Recommender, re
 
 // Outgoing implements Policy: every entry except the model's private
 // (user-embedding) entries.
-func (ShareLess) Outgoing(m model.Recommender, _ *param.Set, _ *rand.Rand) *param.Set {
-	return m.Params().Without(m.PrivateEntries()...)
+func (ShareLess) Outgoing(m model.Recommender, _ *param.Set, _ *rand.Rand, buf *param.Buffers) *param.Set {
+	return buf.CloneWithout(m.Params(), m.PrivateEntries()...)
 }
 
 func hasAll(s *param.Set, names []string) bool {
@@ -122,17 +124,18 @@ func (p DPSGD) PrepareTrain(opt *model.TrainOptions, _ model.Recommender, _ *par
 }
 
 // Outgoing implements Policy: prev + clip(Δ) + noise, over all entries.
-func (p DPSGD) Outgoing(m model.Recommender, prev *param.Set, rng *rand.Rand) *param.Set {
+func (p DPSGD) Outgoing(m model.Recommender, prev *param.Set, rng *rand.Rand, buf *param.Buffers) *param.Set {
 	if prev == nil {
 		panic("defense: DPSGD.Outgoing requires the pre-training snapshot")
 	}
-	delta := m.Params().Clone()
+	delta := buf.Clone(m.Params())
 	delta.Axpy(-1, prev)
 	delta.ClipL2(p.Clip)
 	if p.NoiseMultiplier > 0 {
 		delta.AddNoise(rng.NormFloat64, p.NoiseMultiplier*p.Clip)
 	}
-	out := prev.Clone()
+	out := buf.Clone(prev)
 	out.Axpy(1, delta)
+	buf.Put(delta)
 	return out
 }

@@ -24,7 +24,7 @@ func defTestDataset(t *testing.T) *dataset.Dataset {
 
 func TestFullSharingOutgoingIsCompleteCopy(t *testing.T) {
 	m := model.NewGMF(4, 6, 3, 1)
-	out := FullSharing{}.Outgoing(m, nil, nil)
+	out := FullSharing{}.Outgoing(m, nil, nil, nil)
 	if out.Len() != m.Params().Len() {
 		t.Fatalf("full sharing dropped entries: %v", out.Names())
 	}
@@ -37,7 +37,7 @@ func TestFullSharingOutgoingIsCompleteCopy(t *testing.T) {
 
 func TestShareLessHidesUserEmbeddings(t *testing.T) {
 	m := model.NewGMF(4, 6, 3, 1)
-	out := ShareLess{Tau: 1}.Outgoing(m, nil, nil)
+	out := ShareLess{Tau: 1}.Outgoing(m, nil, nil, nil)
 	if out.Has(model.GMFUserEmb) {
 		t.Fatal("share-less leaked user embeddings")
 	}
@@ -48,7 +48,7 @@ func TestShareLessHidesUserEmbeddings(t *testing.T) {
 	}
 
 	p := model.NewPRME(4, 6, 3, 1)
-	outP := ShareLess{Tau: 1}.Outgoing(p, nil, nil)
+	outP := ShareLess{Tau: 1}.Outgoing(p, nil, nil, nil)
 	if outP.Has(model.PRMEUserEmb) {
 		t.Fatal("share-less leaked PRME user embeddings")
 	}
@@ -106,7 +106,7 @@ func TestDPSGDOutgoingClipsDelta(t *testing.T) {
 	// Apply a huge fake local update.
 	m.Params().Get(model.GMFItemEmb)[0] += 100
 	p := DPSGD{Clip: 1, NoiseMultiplier: 0}
-	out := p.Outgoing(m, prev, mathx.NewRand(1))
+	out := p.Outgoing(m, prev, mathx.NewRand(1), nil)
 	delta := out.Clone()
 	delta.Axpy(-1, prev)
 	if n := delta.L2Norm(); n > 1+1e-9 {
@@ -118,8 +118,8 @@ func TestDPSGDOutgoingAddsNoise(t *testing.T) {
 	m := model.NewGMF(4, 6, 3, 1)
 	prev := m.Params().Clone()
 	p := DPSGD{Clip: 1, NoiseMultiplier: 1}
-	a := p.Outgoing(m, prev, mathx.NewRand(1))
-	b := p.Outgoing(m, prev, mathx.NewRand(2))
+	a := p.Outgoing(m, prev, mathx.NewRand(1), nil)
+	b := p.Outgoing(m, prev, mathx.NewRand(2), nil)
 	if param.Equal(a, b, 1e-12) {
 		t.Fatal("DP noise is deterministic across different RNGs")
 	}
@@ -140,7 +140,7 @@ func TestDPSGDOutgoingRequiresPrev(t *testing.T) {
 			t.Fatal("expected panic without prev snapshot")
 		}
 	}()
-	DPSGD{Clip: 1}.Outgoing(m, nil, mathx.NewRand(1))
+	DPSGD{Clip: 1}.Outgoing(m, nil, mathx.NewRand(1), nil)
 }
 
 // End-to-end: a share-less client round trip trains, shares partial

@@ -31,7 +31,7 @@ func (TopKSparsify) Name() string { return "topk-sparsify" }
 func (TopKSparsify) PrepareTrain(*model.TrainOptions, model.Recommender, *param.Set) {}
 
 // Outgoing implements Policy: prev + top-k(Δ) over all entries jointly.
-func (p TopKSparsify) Outgoing(m model.Recommender, prev *param.Set, _ *rand.Rand) *param.Set {
+func (p TopKSparsify) Outgoing(m model.Recommender, prev *param.Set, _ *rand.Rand, buf *param.Buffers) *param.Set {
 	if prev == nil {
 		panic("defense: TopKSparsify.Outgoing requires the pre-training snapshot")
 	}
@@ -39,7 +39,7 @@ func (p TopKSparsify) Outgoing(m model.Recommender, prev *param.Set, _ *rand.Ran
 	if frac <= 0 || frac > 1 {
 		panic("defense: TopKSparsify.Fraction out of (0,1]")
 	}
-	delta := m.Params().Clone()
+	delta := buf.Clone(m.Params())
 	delta.Axpy(-1, prev)
 
 	// Find the magnitude threshold across all coordinates.
@@ -52,7 +52,8 @@ func (p TopKSparsify) Outgoing(m model.Recommender, prev *param.Set, _ *rand.Ran
 		}
 	}
 	if len(mags) == 0 {
-		return prev.Clone()
+		buf.Put(delta)
+		return buf.Clone(prev)
 	}
 	keep := int(frac * float64(len(mags)))
 	if keep < 1 {
@@ -69,7 +70,8 @@ func (p TopKSparsify) Outgoing(m model.Recommender, prev *param.Set, _ *rand.Ran
 			}
 		}
 	}
-	out := prev.Clone()
+	out := buf.Clone(prev)
 	out.Axpy(1, delta)
+	buf.Put(delta)
 	return out
 }

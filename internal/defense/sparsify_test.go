@@ -18,7 +18,7 @@ func TestTopKSparsifyKeepsLargestCoordinates(t *testing.T) {
 	}
 	item[3] += 10
 
-	out := TopKSparsify{Fraction: 0.05}.Outgoing(m, prev, nil)
+	out := TopKSparsify{Fraction: 0.05}.Outgoing(m, prev, nil, nil)
 	delta := out.Clone()
 	delta.Axpy(-1, prev)
 	d := delta.Get(model.GMFItemEmb)
@@ -44,7 +44,7 @@ func TestTopKSparsifyFullFractionIsIdentity(t *testing.T) {
 	m := model.NewGMF(d.NumUsers, d.NumItems, 4, 1)
 	prev := m.Params().Clone()
 	m.TrainLocal(d, 0, model.TrainOptions{Rand: mathx.NewRand(2)})
-	out := TopKSparsify{Fraction: 1}.Outgoing(m, prev, nil)
+	out := TopKSparsify{Fraction: 1}.Outgoing(m, prev, nil, nil)
 	cur := m.Params()
 	for _, name := range cur.Names() {
 		a, b := cur.Get(name), out.Get(name)
@@ -59,7 +59,7 @@ func TestTopKSparsifyFullFractionIsIdentity(t *testing.T) {
 func TestTopKSparsifyNoUpdateNoChange(t *testing.T) {
 	m := model.NewGMF(2, 4, 2, 1)
 	prev := m.Params().Clone()
-	out := TopKSparsify{Fraction: 0.5}.Outgoing(m, prev, nil)
+	out := TopKSparsify{Fraction: 0.5}.Outgoing(m, prev, nil, nil)
 	if out.L2Norm() != prev.L2Norm() {
 		t.Fatal("zero delta must yield prev unchanged")
 	}
@@ -68,8 +68,8 @@ func TestTopKSparsifyNoUpdateNoChange(t *testing.T) {
 func TestTopKSparsifyPanics(t *testing.T) {
 	m := model.NewGMF(2, 4, 2, 1)
 	for name, f := range map[string]func(){
-		"nil prev":     func() { TopKSparsify{Fraction: 0.5}.Outgoing(m, nil, nil) },
-		"bad fraction": func() { TopKSparsify{Fraction: 0}.Outgoing(m, m.Params().Clone(), nil) },
+		"nil prev":     func() { TopKSparsify{Fraction: 0.5}.Outgoing(m, nil, nil, nil) },
+		"bad fraction": func() { TopKSparsify{Fraction: 0}.Outgoing(m, m.Params().Clone(), nil, nil) },
 	} {
 		func() {
 			defer func() {

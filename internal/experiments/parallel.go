@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"runtime"
+
+	"github.com/collablearn/ciarec/internal/parx"
+)
+
+// forEachCell runs the i'th independent table/figure cell for every i
+// in [0, n) on a bounded worker pool sized to the machine, so
+// multi-cell runners (and `go test -bench=.`) exploit all cores.
+//
+// Cells must be independent: each builds its own simulation from the
+// spec seed and writes only rows[i]. Runs are deterministic per cell,
+// so the assembled table is identical to a serial sweep; on error the
+// lowest-indexed cell's error is returned.
+//
+// Cell-level and simulator-level parallelism compose: the Go scheduler
+// multiplexes both pools over GOMAXPROCS, so oversubscription costs
+// scheduling overhead, not correctness.
+func forEachCell(n int, fn func(i int) error) error {
+	return parx.ForEachErr(runtime.GOMAXPROCS(0), n, func(_, i int) error {
+		return fn(i)
+	})
+}

@@ -114,6 +114,7 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		ClientFraction: o.ClientFraction,
 		DropoutProb:    o.DropoutProb,
 		Train:          model.TrainOptions{Epochs: o.Spec.LocalEpochs},
+		Workers:        o.Spec.Workers,
 		Observer:       obs,
 		OnRound: func(round int, s *fed.Simulation) {
 			switch o.Utility {
@@ -273,6 +274,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		WakeProb:    o.WakeProb,
 		StaticGraph: o.StaticGraph,
 		Train:       model.TrainOptions{Epochs: o.Spec.LocalEpochs},
+		Workers:     o.Spec.Workers,
 		Observer:    obs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {

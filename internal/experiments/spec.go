@@ -56,7 +56,10 @@ type Spec struct {
 	NumNeg int
 	// LocalEpochs is the per-round local-training length.
 	LocalEpochs int
-	// Workers bounds CIA scoring parallelism in FL runs.
+	// Workers bounds per-run parallelism: the protocol simulators'
+	// client/node training pools and CIA scoring in FL runs. 0 lets the
+	// simulators default to runtime.NumCPU(). Results are independent
+	// of the value (see fed.Config.Workers / gossip.Config.Workers).
 	Workers int
 	// Seed drives all generation and training.
 	Seed uint64

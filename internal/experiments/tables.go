@@ -51,20 +51,28 @@ var table2Configs = []struct{ dataset, family string }{
 }
 
 // RunTable2 reproduces Table II: CIA on FedRecs, every user playing
-// the adversary, full model sharing.
+// the adversary, full model sharing. Cells are independent (each
+// builds its own dataset and simulation from the spec seed) and run
+// concurrently on the table-cell worker pool; row order and values are
+// identical to a serial sweep.
 func RunTable2(spec Spec) ([]AttackRow, error) {
-	var rows []AttackRow
-	for _, c := range table2Configs {
+	rows := make([]AttackRow, len(table2Configs))
+	err := forEachCell(len(table2Configs), func(i int) error {
+		c := table2Configs[i]
 		d, err := MakeDataset(c.dataset, spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		SplitFor(c.family, d)
 		res, err := RunFLCIA(FLOpts{Data: d, Family: c.family, Spec: spec, Utility: UtilityNone})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AttackRow{Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack})
+		rows[i] = AttackRow{Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -88,18 +96,23 @@ func RunTable3(spec Spec) ([]AttackRow, error) {
 		{gossip.PersGossip, "gowalla", "gmf"},
 		{gossip.PersGossip, "gowalla", "prme"},
 	}
-	var rows []AttackRow
-	for _, c := range configs {
+	rows := make([]AttackRow, len(configs))
+	err := forEachCell(len(configs), func(i int) error {
+		c := configs[i]
 		d, err := MakeDataset(c.dataset, spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		SplitFor(c.family, d)
 		res, err := RunGLCIA(GLOpts{Data: d, Family: c.family, Variant: c.variant, Spec: spec})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AttackRow{Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack})
+		rows[i] = AttackRow{Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -125,22 +138,32 @@ func runCollusion(spec Spec, policy defense.Policy) ([]AttackRow, error) {
 		return nil, err
 	}
 	SplitFor("gmf", d)
-	var rows []AttackRow
-	single, err := RunGLCIA(GLOpts{Data: d, Family: "gmf", Spec: spec, Policy: policy})
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AttackRow{Dataset: "movielens", Model: "gmf", Setting: "single adversary", Result: single.Attack})
-	for _, f := range ColluderFracs {
+	// Cell 0 is the single adversary; cells 1.. are the colluder
+	// fractions. All share the (read-only) dataset and run concurrently.
+	rows := make([]AttackRow, 1+len(ColluderFracs))
+	err = forEachCell(len(rows), func(i int) error {
+		if i == 0 {
+			single, err := RunGLCIA(GLOpts{Data: d, Family: "gmf", Spec: spec, Policy: policy})
+			if err != nil {
+				return err
+			}
+			rows[0] = AttackRow{Dataset: "movielens", Model: "gmf", Setting: "single adversary", Result: single.Attack}
+			return nil
+		}
+		f := ColluderFracs[i-1]
 		res, err := RunGLCIA(GLOpts{Data: d, Family: "gmf", Spec: spec, Policy: policy, ColluderFrac: f})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, AttackRow{
+		rows[i] = AttackRow{
 			Dataset: "movielens", Model: "gmf",
 			Setting: fmt.Sprintf("%.0f%% colluders", 100*f),
 			Result:  res.Attack,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -153,26 +176,39 @@ func RunTable6(spec Spec) ([]AttackRow, error) {
 		return nil, err
 	}
 	SplitFor("gmf", d)
-	var rows []AttackRow
+	type cell struct {
+		momentumOff bool
+		frac        float64
+	}
+	var cells []cell
 	for _, momentumOff := range []bool{true, false} {
 		for _, f := range ColluderFracs {
-			res, err := RunGLCIA(GLOpts{
-				Data: d, Family: "gmf", Spec: spec,
-				ColluderFrac: f, MomentumOff: momentumOff,
-			})
-			if err != nil {
-				return nil, err
-			}
-			beta := spec.Beta
-			if momentumOff {
-				beta = 0
-			}
-			rows = append(rows, AttackRow{
-				Dataset: "movielens", Model: "gmf",
-				Setting: fmt.Sprintf("beta=%.2f %.0f%% colluders", beta, 100*f),
-				Result:  res.Attack,
-			})
+			cells = append(cells, cell{momentumOff, f})
 		}
+	}
+	rows := make([]AttackRow, len(cells))
+	err = forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		res, err := RunGLCIA(GLOpts{
+			Data: d, Family: "gmf", Spec: spec,
+			ColluderFrac: c.frac, MomentumOff: c.momentumOff,
+		})
+		if err != nil {
+			return err
+		}
+		beta := spec.Beta
+		if c.momentumOff {
+			beta = 0
+		}
+		rows[i] = AttackRow{
+			Dataset: "movielens", Model: "gmf",
+			Setting: fmt.Sprintf("beta=%.2f %.0f%% colluders", beta, 100*c.frac),
+			Result:  res.Attack,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -196,25 +232,29 @@ func RunTable7(spec Spec) ([]Table7Row, error) {
 		return nil, err
 	}
 	SplitFor("gmf", d)
-	var rows []Table7Row
-	for _, frac := range fracs {
+	rows := make([]Table7Row, len(fracs))
+	err = forEachCell(len(fracs), func(i int) error {
 		s := spec
-		s.KFrac = frac
+		s.KFrac = fracs[i]
 		full, err := RunFLCIA(FLOpts{Data: d, Family: "gmf", Spec: s, Utility: UtilityNone})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sl, err := RunFLCIA(FLOpts{Data: d, Family: "gmf", Spec: s, Utility: UtilityNone,
 			Policy: defense.ShareLess{Tau: DefaultShareLessTau}})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table7Row{
+		rows[i] = Table7Row{
 			K:           s.K(d.NumUsers),
 			FullAAC:     full.Attack.MaxAAC,
 			ShareLess:   sl.Attack.MaxAAC,
 			RandomBound: full.Attack.RandomBound,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

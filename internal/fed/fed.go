@@ -24,6 +24,7 @@ import (
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/parx"
 )
 
 // Message is one client upload as seen by the server (and therefore by
@@ -35,8 +36,13 @@ type Message struct {
 }
 
 // Observer receives the traffic a server-side adversary can see.
-// Implementations must not retain msg.Params without cloning if they
-// mutate it (the simulator itself does not reuse payloads).
+// msg.Params is only valid for the duration of the OnUpload call: the
+// simulator recycles payload storage once the round that produced it
+// is aggregated, so implementations must clone anything they retain.
+// Calls are always made sequentially from a single goroutine, in the
+// round's sampling order (ascending client index under full
+// participation; the sampler's draw order under ClientFraction < 1) —
+// identical for every Workers setting.
 type Observer interface {
 	// OnUpload is called for every client upload, before aggregation.
 	OnUpload(msg Message)
@@ -64,6 +70,15 @@ type Config struct {
 	// Train is the local-training option template; its Rand field is
 	// ignored (each client owns a generator).
 	Train model.TrainOptions
+
+	// Workers bounds the number of goroutines running per-client local
+	// training concurrently. 0 defaults to runtime.NumCPU(); negative
+	// forces serial execution. Results are byte-identical whatever the
+	// worker count: every client owns its RNG stream and private state,
+	// round-level randomness (sampling, dropout) is drawn before
+	// dispatch, and uploads are observed and aggregated in client-index
+	// order.
+	Workers int
 
 	// Observer optionally receives all uploads (the adversary hook).
 	Observer Observer
@@ -118,7 +133,7 @@ type Traffic struct {
 type Simulation struct {
 	cfg     Config
 	global  model.Recommender
-	scratch model.Recommender // reusable client/eval workspace
+	scratch model.Recommender // reusable client/eval workspace (worker 0)
 	clients []clientState
 	rng     *rand.Rand
 	evalRng *rand.Rand
@@ -126,6 +141,14 @@ type Simulation struct {
 	traffic Traffic
 
 	privateEntries []string
+
+	workers   int
+	scratches []model.Recommender // per-worker client workspaces
+	pool      param.Buffers       // payload free-list
+	aggBuf    []float64           // reusable aggregation accumulator
+	payloads  []*param.Set        // per-round payload staging, by sample index
+	dropped   []bool              // per-round dropout decisions, by sample index
+	uploads   []upload            // reusable aggregation input
 }
 
 // Traffic returns the accumulated upload statistics.
@@ -160,6 +183,23 @@ func New(cfg Config) (*Simulation, error) {
 		rng:            rng,
 		evalRng:        mathx.NewRand(cfg.Seed ^ 0xabcdef),
 		privateEntries: global.PrivateEntries(),
+		workers:        parx.Workers(cfg.Workers),
+	}
+	// A round never runs more concurrent clients than the dataset has
+	// users, so don't build scratch models beyond that.
+	if s.workers > cfg.Dataset.NumUsers {
+		s.workers = cfg.Dataset.NumUsers
+	}
+	var maxEntry int
+	for _, name := range global.Params().Names() {
+		if n := len(global.Params().Get(name)); n > maxEntry {
+			maxEntry = n
+		}
+	}
+	s.aggBuf = make([]float64, maxEntry)
+	s.scratches = []model.Recommender{s.scratch}
+	for w := 1; w < s.workers; w++ {
+		s.scratches = append(s.scratches, global.Clone())
 	}
 	for u := range s.clients {
 		s.clients[u] = clientState{
@@ -184,18 +224,44 @@ func (s *Simulation) Run() {
 }
 
 // RunRound executes a single FedAvg round: sample clients, local
-// training, observation, aggregation, callbacks.
+// training (on the worker pool), observation, aggregation, callbacks.
+//
+// Determinism: the round RNG is consumed in exactly the same order as
+// a serial round (sampling, then one dropout draw per sampled client),
+// every client trains with its own RNG on its own state, and uploads
+// are observed and aggregated in the round's sampling order — so the
+// outcome is byte-identical for every Workers setting.
 func (s *Simulation) RunRound() {
 	round := s.round
 	n := s.cfg.Dataset.NumUsers
 	sampled := s.sampleClients(n)
 
-	uploads := make([]upload, 0, len(sampled))
-	for _, u := range sampled {
-		payload := s.clientRound(round, u)
-		if s.cfg.DropoutProb > 0 && mathx.Bernoulli(s.rng, s.cfg.DropoutProb) {
+	// Pre-draw dropout decisions so the shared round RNG is not touched
+	// from worker goroutines.
+	s.dropped = s.dropped[:0]
+	for range sampled {
+		s.dropped = append(s.dropped, s.cfg.DropoutProb > 0 && mathx.Bernoulli(s.rng, s.cfg.DropoutProb))
+	}
+
+	// Local training, fanned out over the worker pool. Each worker owns
+	// a scratch model; each client owns its RNG and private rows.
+	s.payloads = s.payloads[:0]
+	for range sampled {
+		s.payloads = append(s.payloads, nil)
+	}
+	parx.ForEach(s.workers, len(sampled), func(w, i int) {
+		s.payloads[i] = s.clientRound(round, sampled[i], s.scratches[w])
+	})
+
+	// Sequential phase: observe and aggregate in client-index order.
+	uploads := s.uploads[:0]
+	for i, u := range sampled {
+		payload := s.payloads[i]
+		s.payloads[i] = nil
+		if s.dropped[i] {
 			// Failure injection: the client crashed before uploading.
 			// Its local training (and private state) already happened.
+			s.pool.Put(payload)
 			continue
 		}
 		uploads = append(uploads, upload{
@@ -210,6 +276,11 @@ func (s *Simulation) RunRound() {
 		}
 	}
 	s.aggregate(uploads)
+	for i := range uploads {
+		s.pool.Put(uploads[i].payload)
+		uploads[i].payload = nil
+	}
+	s.uploads = uploads[:0]
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnRoundEnd(round)
 	}
@@ -234,15 +305,17 @@ func (s *Simulation) sampleClients(n int) []int {
 	return mathx.SampleWithoutReplacement(s.rng, n, k)
 }
 
-// clientRound simulates client u's round: install the global model
-// (plus persistent private rows), train locally, build the outgoing
-// payload via the policy.
-func (s *Simulation) clientRound(round, u int) *param.Set {
+// clientRound simulates client u's round on the given scratch model:
+// install the global model (plus persistent private rows), train
+// locally, build the outgoing payload via the policy. It touches only
+// client u's state, the (read-only) global parameters and the
+// concurrency-safe payload pool, so distinct clients may run
+// concurrently on distinct scratch models.
+func (s *Simulation) clientRound(round, u int, m model.Recommender) *param.Set {
 	st := &s.clients[u]
-	m := s.scratch
 	m.Params().CopyFrom(s.global.Params())
 	s.installPrivateRows(m, u)
-	st.lastReceived = m.Params().Clone()
+	st.lastReceived = m.Params().CloneInto(st.lastReceived)
 
 	prev := st.lastReceived // pre-training snapshot (same values)
 	opt := s.cfg.Train
@@ -251,7 +324,7 @@ func (s *Simulation) clientRound(round, u int) *param.Set {
 	m.TrainLocal(s.cfg.Dataset, u, opt)
 
 	s.capturePrivateRows(m, u)
-	return s.cfg.Policy.Outgoing(m, prev, st.rng)
+	return s.cfg.Policy.Outgoing(m, prev, st.rng, &s.pool)
 }
 
 // installPrivateRows copies the client's persisted private rows into
@@ -307,8 +380,9 @@ func (s *Simulation) aggregate(uploads []upload) {
 		private[n] = struct{}{}
 	}
 	globalParams := s.global.Params()
-	for _, name := range globalParams.Names() {
-		ge := globalParams.Entry(name)
+	for ei := 0; ei < globalParams.Len(); ei++ {
+		ge := globalParams.At(ei)
+		name := ge.Name
 		if _, isUserTable := private[name]; isUserTable {
 			// Row routing: take row u from client u's upload (if the
 			// policy shared it at all).
@@ -322,8 +396,10 @@ func (s *Simulation) aggregate(uploads []upload) {
 			}
 			continue
 		}
-		// Weighted-delta FedAvg for every other shared entry.
-		acc := make([]float64, len(ge.Data))
+		// Weighted-delta FedAvg for every other shared entry, accumulated
+		// in the reusable round buffer (allocation-free).
+		acc := s.aggBuf[:len(ge.Data)]
+		mathx.Zero(acc)
 		var any bool
 		for _, up := range uploads {
 			if !up.payload.Has(name) {

@@ -1,0 +1,54 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+// benchSim builds a bench-scale gossip network (the Table III
+// MovieLens sizing) with the given worker count.
+func benchSim(b *testing.B, workers int) *Simulation {
+	b.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		Name: "bench", NumUsers: 140, NumItems: 260,
+		NumCommunities: 4, MeanItemsPerUser: 40, MinItemsPerUser: 10,
+		Affinity: 0.85, ZipfExponent: 0.9, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SplitLeaveOneOut(3)
+	s, err := New(Config{
+		Dataset: d,
+		Factory: model.NewGMFFactory(d.NumUsers, d.NumItems, 8),
+		Rounds:  1 << 30, // benchmarks drive RunRound directly
+		Train:   model.TrainOptions{Epochs: 2},
+		Workers: workers,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkGossipCycle measures one full gossip round — 140 nodes
+// casting, aggregating their inbox in place and training locally — at
+// several worker counts, with allocs/op tracking the recycled payload
+// pipeline.
+func BenchmarkGossipCycle(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchSim(b, workers)
+			s.RunRound() // warm the payload pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunRound()
+			}
+		})
+	}
+}

@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/parx"
 )
 
 // Variant selects the peer-sampling behaviour.
@@ -60,7 +62,12 @@ type Message struct {
 }
 
 // Observer receives every delivered message; adversary implementations
-// filter on To (the node(s) they control).
+// filter on To (the node(s) they control). msg.Params is only valid
+// until the receiving node aggregates its inbox later the same round:
+// the simulator recycles payload storage afterwards, so
+// implementations must clone anything they retain. Calls are always
+// made sequentially from a single goroutine, in ascending sender order
+// within a round.
 type Observer interface {
 	OnReceive(msg Message)
 	OnRoundEnd(round int)
@@ -98,6 +105,15 @@ type Config struct {
 
 	// Train is the local-training option template; Rand is ignored.
 	Train model.TrainOptions
+
+	// Workers bounds the number of goroutines running per-node work
+	// (view refresh, payload construction, inbox aggregation and local
+	// training) concurrently. 0 defaults to runtime.NumCPU(); negative
+	// forces serial execution. Results are byte-identical whatever the
+	// worker count: every node owns its RNG stream, and message
+	// delivery plus observer callbacks happen sequentially in node
+	// order between the parallel phases.
+	Workers int
 
 	Observer Observer
 	OnRound  func(round int, s *Simulation)
@@ -161,6 +177,17 @@ type Simulation struct {
 	evalRng *rand.Rand
 	round   int
 	traffic Traffic
+
+	workers int
+	pool    param.Buffers // payload free-list
+	pushes  []push        // per-round staging, indexed by sender
+}
+
+// push is one node's (possibly absent) outgoing transfer for the
+// current round, computed in parallel and delivered sequentially.
+type push struct {
+	to      int // -1 when the node stays silent or the message is lost
+	payload *param.Set
 }
 
 // Traffic returns the accumulated delivered-message statistics.
@@ -199,6 +226,8 @@ func New(cfg Config) (*Simulation, error) {
 		nodes:   make([]node, n),
 		rng:     rng,
 		evalRng: mathx.NewRand(cfg.Seed ^ 0xabcdef),
+		workers: parx.Workers(cfg.Workers),
+		pushes:  make([]push, n),
 	}
 	for u := 0; u < n; u++ {
 		m := cfg.Factory(rng.Uint64())
@@ -238,10 +267,22 @@ func (s *Simulation) Run() {
 }
 
 // RunRound executes one gossip round.
+//
+// Per-node work (view refresh, payload construction, inbox
+// aggregation, local training) fans out over the worker pool; message
+// delivery and observer callbacks run sequentially in node order
+// between the parallel phases. Every node owns its RNG, so the round
+// is byte-identical for every Workers setting.
 func (s *Simulation) RunRound() {
 	round := s.round
 
-	// View maintenance via the peer-sampling service.
+	// View maintenance via the peer-sampling service. This phase stays
+	// sequential: Pers-Gossip scores candidate peers by calling
+	// Relevance on *other* nodes' live models, and some model families
+	// (NeuMF) run their forward pass through model-owned scratch, so
+	// two concurrent refreshes scoring the same candidate would race.
+	// Refreshes are Exp(rate)-sparse (~n/10 per round at the paper's
+	// rate), so this costs little next to the training phases.
 	if !s.cfg.StaticGraph {
 		for u := range s.nodes {
 			if s.nodes[u].nextRefresh <= round {
@@ -251,39 +292,60 @@ func (s *Simulation) RunRound() {
 		}
 	}
 
-	// Phase 1: awake nodes push to one sampled out-neighbour.
-	for u := range s.nodes {
+	// Phase 1a: awake nodes build their outgoing payload (parallel;
+	// wake, peer choice, policy noise and loss draws all come from the
+	// sender's own RNG, in the same order as a serial round).
+	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
 		nd := &s.nodes[u]
+		s.pushes[u] = push{to: -1}
 		if len(nd.view) == 0 || !mathx.Bernoulli(nd.rng, s.cfg.WakeProb) {
-			continue
+			return
 		}
 		to := nd.view[nd.rng.IntN(len(nd.view))]
-		payload := s.cfg.Policy.Outgoing(nd.m, nd.preTrain, nd.rng)
+		payload := s.cfg.Policy.Outgoing(nd.m, nd.preTrain, nd.rng, &s.pool)
 		if s.cfg.LossProb > 0 && mathx.Bernoulli(nd.rng, s.cfg.LossProb) {
-			continue // failure injection: message lost in transit
+			s.pool.Put(payload)
+			return // failure injection: message lost in transit
 		}
-		msg := Message{Round: round, From: u, To: to, Params: payload}
-		s.nodes[to].inbox = append(s.nodes[to].inbox, msg)
+		s.pushes[u] = push{to: to, payload: payload}
+	})
+
+	// Phase 1b: deliver in sender order (sequential — inbox append
+	// order and observer callbacks are part of the observable protocol).
+	for u := range s.pushes {
+		p := s.pushes[u]
+		if p.to < 0 {
+			continue
+		}
+		s.pushes[u] = push{to: -1}
+		msg := Message{Round: round, From: u, To: p.to, Params: p.payload}
+		s.nodes[p.to].inbox = append(s.nodes[p.to].inbox, msg)
 		s.traffic.Messages++
-		s.traffic.Bytes += int64(payload.WireBytes())
+		s.traffic.Bytes += int64(p.payload.WireBytes())
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.OnReceive(msg)
 		}
 	}
 
-	// Phase 2: aggregate inboxes; Phase 3: local training.
-	for u := range s.nodes {
+	// Phase 2: aggregate inboxes; Phase 3: local training. Each node
+	// touches only its own model, inbox and RNG; consumed payloads are
+	// recycled into the (concurrency-safe) pool.
+	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
 		nd := &s.nodes[u]
 		if len(nd.inbox) > 0 {
 			s.aggregateInbox(nd)
+			for i := range nd.inbox {
+				s.pool.Put(nd.inbox[i].Params)
+				nd.inbox[i].Params = nil
+			}
 			nd.inbox = nd.inbox[:0]
 		}
-		nd.preTrain = nd.m.Params().Clone()
+		nd.preTrain = nd.m.Params().CloneInto(nd.preTrain)
 		opt := s.cfg.Train
 		opt.Rand = nd.rng
 		s.cfg.Policy.PrepareTrain(&opt, nd.m, nd.preTrain)
 		nd.m.TrainLocal(s.cfg.Dataset, u, opt)
-	}
+	})
 
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnRoundEnd(round)
@@ -301,21 +363,22 @@ func (s *Simulation) RunRound() {
 // receives.
 func (s *Simulation) aggregateInbox(nd *node) {
 	own := nd.m.Params()
-	for _, name := range own.Names() {
-		oe := own.Entry(name)
-		acc := make([]float64, len(oe.Data))
-		copy(acc, oe.Data)
+	for i := 0; i < own.Len(); i++ {
+		oe := own.At(i)
+		name := oe.Name
+		// In-place: sum payloads into the live entry, then normalize.
+		// Same addition order as an explicit accumulator, zero
+		// allocation.
 		cnt := 1.0
 		for _, msg := range nd.inbox {
 			if !msg.Params.Has(name) {
 				continue
 			}
-			mathx.Axpy(1, msg.Params.Get(name), acc)
+			mathx.Axpy(1, msg.Params.Get(name), oe.Data)
 			cnt++
 		}
 		if cnt > 1 {
-			mathx.Scale(1/cnt, acc)
-			copy(oe.Data, acc)
+			mathx.Scale(1/cnt, oe.Data)
 		}
 	}
 }
@@ -383,10 +446,16 @@ func (s *Simulation) persView(u, p int) []int {
 	// alignment, which is what drives Pepper-style personalization.
 	probe := s.probeItems(u)
 	candidates := make([]int, 0, len(pool))
-	scores := make([]float64, 0, len(pool))
 	for v := range pool {
-		m := s.nodes[v].m
 		candidates = append(candidates, v)
+	}
+	// Iterate candidates in a defined order: Go map iteration order is
+	// random, and letting it leak into the tie-breaking of ArgsortDesc
+	// (or the slot-filling below) would make runs irreproducible.
+	sort.Ints(candidates)
+	scores := make([]float64, 0, len(candidates))
+	for _, v := range candidates {
+		m := s.nodes[v].m
 		scores = append(scores, m.Relevance(u, myItems)-m.Relevance(u, probe))
 	}
 	order := mathx.ArgsortDesc(scores)

@@ -16,31 +16,68 @@ import (
 
 // Dot returns the inner product of a and b.
 // It panics if the lengths differ.
+//
+// The loop is 4-way unrolled with independent accumulators so the
+// multiply-adds pipeline instead of serializing on one register; the
+// partial sums are combined pairwise at the end, which keeps the
+// result deterministic (though not bit-identical to a strictly
+// sequential sum).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mathx: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		bb := b[i : i+4 : i+4]
+		aa := a[i : i+4 : i+4]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
 
 // Axpy computes dst += alpha*x element-wise.
 // It panics if the lengths differ.
+//
+// 4-way unrolled; element updates are independent, so the result is
+// bit-identical to the naive loop.
 func Axpy(alpha float64, x, dst []float64) {
 	if len(x) != len(dst) {
 		panic(fmt.Sprintf("mathx: Axpy length mismatch %d != %d", len(x), len(dst)))
 	}
-	for i, v := range x {
-		dst[i] += alpha * v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx := x[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		dd[0] += alpha * xx[0]
+		dd[1] += alpha * xx[1]
+		dd[2] += alpha * xx[2]
+		dd[3] += alpha * xx[3]
+	}
+	for ; i < len(x); i++ {
+		dst[i] += alpha * x[i]
 	}
 }
 
-// Scale multiplies every element of x by alpha in place.
+// Scale multiplies every element of x by alpha in place (4-way
+// unrolled; bit-identical to the naive loop).
 func Scale(alpha float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx := x[i : i+4 : i+4]
+		xx[0] *= alpha
+		xx[1] *= alpha
+		xx[2] *= alpha
+		xx[3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }
@@ -48,12 +85,25 @@ func Scale(alpha float64, x []float64) {
 // Lerp overwrites dst with beta*dst + (1-beta)*x, the exponential
 // moving average step used by the attack's momentum tracker (Eq. 4 of
 // the paper). It panics if the lengths differ.
+//
+// 4-way unrolled; element updates are independent, so the result is
+// bit-identical to the naive loop.
 func Lerp(beta float64, dst, x []float64) {
 	if len(x) != len(dst) {
 		panic(fmt.Sprintf("mathx: Lerp length mismatch %d != %d", len(dst), len(x)))
 	}
-	for i := range dst {
-		dst[i] = beta*dst[i] + (1-beta)*x[i]
+	ib := 1 - beta
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		xx := x[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		dd[0] = beta*dd[0] + ib*xx[0]
+		dd[1] = beta*dd[1] + ib*xx[1]
+		dd[2] = beta*dd[2] + ib*xx[2]
+		dd[3] = beta*dd[3] + ib*xx[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = beta*dst[i] + ib*x[i]
 	}
 }
 

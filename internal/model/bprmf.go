@@ -30,6 +30,11 @@ type BPRMF struct {
 	itemEmb           *mathx.Matrix
 	itemBias          []float64
 	set               *param.Set
+
+	// grad is the per-step gradient workspace (3 dim-sized views),
+	// allocated lazily so Clone and the constructor stay oblivious.
+	// Models are not goroutine-safe; each client/worker owns a copy.
+	grad []float64
 }
 
 var _ Recommender = (*BPRMF)(nil)
@@ -156,9 +161,12 @@ func (m *BPRMF) bprStep(u, pos, neg int, opt TrainOptions) {
 	g := -mathx.Sigmoid(-z)
 
 	dim := m.dim
-	dP := make([]float64, dim)
-	dQp := make([]float64, dim)
-	dQn := make([]float64, dim)
+	if m.grad == nil {
+		m.grad = make([]float64, 3*dim)
+	}
+	dP := m.grad[0*dim : 1*dim]
+	dQp := m.grad[1*dim : 2*dim]
+	dQn := m.grad[2*dim : 3*dim]
 	for k := 0; k < dim; k++ {
 		dP[k] = g * (qp[k] - qn[k])
 		dQp[k] = g * p[k]

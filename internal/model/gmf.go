@@ -31,9 +31,10 @@ type GMF struct {
 	bias              []float64     // 1
 	set               *param.Set
 
-	// scratch buffers reused across SGD steps (models are not
-	// goroutine-safe; each simulated client owns its own copy).
-	scratch []float64
+	// scratch buffers reused across SGD steps — one per gradient (dP,
+	// dQ, dH) so a step is allocation-free. Models are not
+	// goroutine-safe; each simulated client/worker owns its own copy.
+	scratch, scratchQ, scratchH []float64
 }
 
 var _ Recommender = (*GMF)(nil)
@@ -52,14 +53,16 @@ func NewGMF(numUsers, numItems, dim int, seed uint64) *GMF {
 	}
 	r := mathx.NewRand(seed)
 	m := &GMF{
-		users:   numUsers,
-		items:   numItems,
-		dim:     dim,
-		userEmb: mathx.NewMatrix(numUsers, dim),
-		itemEmb: mathx.NewMatrix(numItems, dim),
-		h:       make([]float64, dim),
-		bias:    make([]float64, 1),
-		scratch: make([]float64, dim),
+		users:    numUsers,
+		items:    numItems,
+		dim:      dim,
+		userEmb:  mathx.NewMatrix(numUsers, dim),
+		itemEmb:  mathx.NewMatrix(numItems, dim),
+		h:        make([]float64, dim),
+		bias:     make([]float64, 1),
+		scratch:  make([]float64, dim),
+		scratchQ: make([]float64, dim),
+		scratchH: make([]float64, dim),
 	}
 	mathx.FillNormal(r, m.userEmb.Data, 0, gmfInitStd)
 	mathx.FillNormal(r, m.itemEmb.Data, 0, gmfInitStd)
@@ -91,14 +94,16 @@ func (m *GMF) NumItems() int      { return m.items }
 // Clone returns a deep copy with fresh storage.
 func (m *GMF) Clone() Recommender {
 	c := &GMF{
-		users:   m.users,
-		items:   m.items,
-		dim:     m.dim,
-		userEmb: m.userEmb.Clone(),
-		itemEmb: m.itemEmb.Clone(),
-		h:       append([]float64(nil), m.h...),
-		bias:    append([]float64(nil), m.bias...),
-		scratch: make([]float64, m.dim),
+		users:    m.users,
+		items:    m.items,
+		dim:      m.dim,
+		userEmb:  m.userEmb.Clone(),
+		itemEmb:  m.itemEmb.Clone(),
+		h:        append([]float64(nil), m.h...),
+		bias:     append([]float64(nil), m.bias...),
+		scratch:  make([]float64, m.dim),
+		scratchQ: make([]float64, m.dim),
+		scratchH: make([]float64, m.dim),
 	}
 	c.set = param.New()
 	c.set.AddMatrix(GMFUserEmb, c.userEmb)
@@ -184,8 +189,8 @@ func (m *GMF) sgdStep(u, item int, label float64, opt TrainOptions) {
 
 	// Raw gradients (before clip): dP = g·h⊙q, dQ = g·h⊙p, dH = g·p⊙q, dB = g.
 	dP := m.scratch
-	dQ := make([]float64, m.dim)
-	dH := make([]float64, m.dim)
+	dQ := m.scratchQ
+	dH := m.scratchH
 	var sq float64
 	for k := 0; k < m.dim; k++ {
 		dP[k] = g * m.h[k] * q[k]

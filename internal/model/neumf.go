@@ -52,6 +52,26 @@ type NeuMF struct {
 
 	// forward scratch (models are not goroutine-safe).
 	in1, a1, a2 []float64
+	// backprop scratch (delta2 | delta1 | dIn), allocated lazily so
+	// Clone and the constructor stay oblivious.
+	grad []float64
+}
+
+// gradViews carves the lazily-allocated backprop workspace into its
+// delta2, delta1 and dIn views. delta2 is zeroed here because callers
+// only write its positive-activation entries; delta1 and dIn are fully
+// overwritten by MulVecT.
+func (m *NeuMF) gradViews() (delta2, delta1, dIn []float64) {
+	if m.grad == nil {
+		m.grad = make([]float64, m.h2+m.h1+2*m.dim)
+	}
+	delta2 = m.grad[0:m.h2]
+	delta1 = m.grad[m.h2 : m.h2+m.h1]
+	dIn = m.grad[m.h2+m.h1:]
+	for j := range delta2 {
+		delta2[j] = 0
+	}
+	return delta2, delta1, dIn
 }
 
 var _ Recommender = (*NeuMF)(nil)
@@ -245,13 +265,12 @@ func (m *NeuMF) sgdStep(u, it int, label float64, opt TrainOptions) {
 	// Output-layer deltas.
 	// GMF half: dH[k] = g*pg[k]*qg[k]; dPg = g*h[k]*qg[k]; dQg = g*h[k]*pg[k].
 	// MLP half: dH[dim+j] = g*a2[j]; delta2[j] = g*h[dim+j]*relu'(a2).
-	delta2 := make([]float64, h2c)
+	delta2, delta1, dIn := m.gradViews()
 	for j := 0; j < h2c; j++ {
 		if m.a2[j] > 0 {
 			delta2[j] = g * m.h[dim+j]
 		}
 	}
-	delta1 := make([]float64, h1c)
 	m.w2.MulVecT(delta2, delta1)
 	for j := 0; j < h1c; j++ {
 		if m.a1[j] <= 0 {
@@ -259,7 +278,6 @@ func (m *NeuMF) sgdStep(u, it int, label float64, opt TrainOptions) {
 		}
 	}
 	// Input deltas: dIn = W1ᵀ · delta1 → split into dPm, dQm.
-	dIn := make([]float64, 2*dim)
 	m.w1.MulVecT(delta1, dIn)
 
 	lr := opt.LR
@@ -372,20 +390,18 @@ func (m *NeuMF) fictiveStep(ug, um []float64, it int, label float64, opt TrainOp
 	g := mathx.Sigmoid(m.forward(ug, um, it)) - label
 	dim := m.dim
 
-	delta2 := make([]float64, m.h2)
+	delta2, delta1, dIn := m.gradViews()
 	for j := 0; j < m.h2; j++ {
 		if m.a2[j] > 0 {
 			delta2[j] = g * m.h[dim+j]
 		}
 	}
-	delta1 := make([]float64, m.h1)
 	m.w2.MulVecT(delta2, delta1)
 	for j := 0; j < m.h1; j++ {
 		if m.a1[j] <= 0 {
 			delta1[j] = 0
 		}
 	}
-	dIn := make([]float64, 2*dim)
 	m.w1.MulVecT(delta1, dIn)
 
 	for k := 0; k < dim; k++ {

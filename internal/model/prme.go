@@ -38,6 +38,11 @@ type PRME struct {
 	itemSeq           *mathx.Matrix // items × dim (S)
 	set               *param.Set
 	rawRelevance      bool
+
+	// grad is the per-step gradient workspace (6 dim-sized views),
+	// allocated lazily so Clone and the constructors stay oblivious.
+	// Models are not goroutine-safe; each client/worker owns a copy.
+	grad []float64
 }
 
 var _ Recommender = (*PRME)(nil)
@@ -232,9 +237,12 @@ func (m *PRME) bprStep(u, prev, pos, neg int, opt TrainOptions) {
 	// Accumulate the example gradient first so DP clipping sees the
 	// whole example.
 	dim := m.dim
-	dU := make([]float64, dim)
-	dLp := make([]float64, dim)
-	dLn := make([]float64, dim)
+	if m.grad == nil {
+		m.grad = make([]float64, 6*dim)
+	}
+	dU := m.grad[0*dim : 1*dim]
+	dLp := m.grad[1*dim : 2*dim]
+	dLn := m.grad[2*dim : 3*dim]
 	var dSprev, dSp, dSn []float64
 	var sp, spos, sneg []float64
 	for k := 0; k < dim; k++ {
@@ -249,9 +257,9 @@ func (m *PRME) bprStep(u, prev, pos, neg int, opt TrainOptions) {
 		sp = m.itemSeq.Row(prev)
 		spos = m.itemSeq.Row(pos)
 		sneg = m.itemSeq.Row(neg)
-		dSprev = make([]float64, dim)
-		dSp = make([]float64, dim)
-		dSn = make([]float64, dim)
+		dSprev = m.grad[3*dim : 4*dim]
+		dSp = m.grad[4*dim : 5*dim]
+		dSn = m.grad[5*dim : 6*dim]
 		for k := 0; k < dim; k++ {
 			dp := sp[k] - spos[k]
 			dn := sp[k] - sneg[k]

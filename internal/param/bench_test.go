@@ -1,0 +1,66 @@
+package param
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// benchSet mirrors a bench-scale GMF parameter set (140 users, 260
+// items, dim 8 plus the output vector).
+func benchSet() *Set {
+	r := rand.New(rand.NewPCG(1, 2))
+	fill := func(n int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		return x
+	}
+	s := New()
+	s.Add("user_emb", 140, 8, fill(140*8))
+	s.Add("item_emb", 260, 8, fill(260*8))
+	s.AddVector("h", fill(8))
+	return s
+}
+
+// BenchmarkParamClone tracks the per-message payload cost: the seed's
+// Clone-per-message baseline vs the recycled pipeline the simulators
+// now use. allocs/op is the headline number.
+func BenchmarkParamClone(b *testing.B) {
+	src := benchSet()
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := src.Clone()
+			_ = s
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		var pool Buffers
+		pool.Put(pool.Clone(src)) // warm the free-list
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := pool.Clone(src)
+			pool.Put(s)
+		}
+	})
+	b.Run("pooled-without", func(b *testing.B) {
+		var pool Buffers
+		pool.Put(pool.CloneWithout(src, "user_emb"))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := pool.CloneWithout(src, "user_emb")
+			pool.Put(s)
+		}
+	})
+	b.Run("cloneinto", func(b *testing.B) {
+		dst := src.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = src.CloneInto(dst)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package param
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// signature returns the structural key of the set: entry names and
+// shapes in registration order. Two sets with equal signatures can
+// exchange backing storage. Add maintains the value eagerly, so this
+// is a pure read and safe to call from concurrent cloners of a shared
+// source set.
+func (s *Set) signature() string { return s.sig }
+
+func writeEntrySig(b *strings.Builder, e Entry) {
+	b.WriteString(e.Name)
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(e.Rows))
+	b.WriteByte('x')
+	b.WriteString(strconv.Itoa(e.Cols))
+	b.WriteByte(';')
+}
+
+// appendEntrySig extends a signature with one more entry (the eager
+// per-Add maintenance path).
+func appendEntrySig(sig string, e Entry) string {
+	var b strings.Builder
+	b.Grow(len(sig) + len(e.Name) + 16)
+	b.WriteString(sig)
+	writeEntrySig(&b, e)
+	return b.String()
+}
+
+// Buffers is a concurrency-safe free-list of parameter sets keyed by
+// set structure. The protocol simulators keep one Buffers per
+// simulation so that message payloads — previously a fresh deep copy
+// per message — are recycled once the round that produced them is
+// over, making the steady-state parameter pipeline allocation-free.
+//
+// All methods are safe for concurrent use and tolerate a nil receiver
+// (every operation then degrades to a plain allocation), so code paths
+// can thread an optional pool without branching.
+type Buffers struct {
+	pools sync.Map // signature string → *sync.Pool of *Set
+
+	// filtered caches CloneWithout signatures: a simulation filters the
+	// same structure with the same short drop list every message, and
+	// rebuilding the string each time would put an allocation back into
+	// the steady-state pipeline.
+	mu       sync.RWMutex
+	filtered map[withoutKey]string
+}
+
+// withoutKey identifies a CloneWithout result signature for drop lists
+// of up to two entries (models withhold at most a couple of private
+// tables; longer lists skip the cache).
+type withoutKey struct {
+	src, drop0, drop1 string
+}
+
+func (b *Buffers) pool(sig string) *sync.Pool {
+	if p, ok := b.pools.Load(sig); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := b.pools.LoadOrStore(sig, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// Clone returns a deep copy of src, reusing recycled storage of the
+// same structure when available. Return the set with Put when its
+// values are no longer needed.
+func (b *Buffers) Clone(src *Set) *Set {
+	if b == nil {
+		return src.Clone()
+	}
+	if got, ok := b.pool(src.signature()).Get().(*Set); ok && got != nil {
+		got.CopyFrom(src)
+		return got
+	}
+	return src.Clone()
+}
+
+// CloneWithout returns a deep copy of src excluding the named entries
+// (the Share-less payload filter), reusing recycled storage of the
+// filtered structure when available.
+func (b *Buffers) CloneWithout(src *Set, drop ...string) *Set {
+	if b == nil {
+		return src.Without(drop...)
+	}
+	// Drop lists are short (a model's one or two private entries), so a
+	// linear scan beats building a set.
+	skip := func(name string) bool {
+		for _, d := range drop {
+			if d == name {
+				return true
+			}
+		}
+		return false
+	}
+	sig := b.filteredSig(src, drop, skip)
+	if got, ok := b.pool(sig).Get().(*Set); ok && got != nil {
+		// The pooled set has exactly the filtered structure (pools are
+		// keyed by it), so values copy positionally.
+		j := 0
+		for _, e := range src.entries {
+			if skip(e.Name) {
+				continue
+			}
+			copy(got.entries[j].Data, e.Data)
+			j++
+		}
+		return got
+	}
+	return src.Without(drop...)
+}
+
+// filteredSig returns the signature of src minus the dropped entries,
+// cached for drop lists of up to two names.
+func (b *Buffers) filteredSig(src *Set, drop []string, skip func(string) bool) string {
+	key := withoutKey{src: src.signature()}
+	cacheable := len(drop) <= 2
+	if cacheable {
+		if len(drop) > 0 {
+			key.drop0 = drop[0]
+		}
+		if len(drop) > 1 {
+			key.drop1 = drop[1]
+		}
+		b.mu.RLock()
+		sig, ok := b.filtered[key]
+		b.mu.RUnlock()
+		if ok {
+			return sig
+		}
+	}
+	var sb strings.Builder
+	for _, e := range src.entries {
+		if skip(e.Name) {
+			continue
+		}
+		writeEntrySig(&sb, e)
+	}
+	sig := sb.String()
+	if cacheable {
+		b.mu.Lock()
+		if b.filtered == nil {
+			b.filtered = make(map[withoutKey]string)
+		}
+		b.filtered[key] = sig
+		b.mu.Unlock()
+	}
+	return sig
+}
+
+// Put returns sets to the free-list for reuse. Nil sets are ignored.
+// Callers must not touch a set after putting it back; the values will
+// be overwritten by the next Clone of the same structure.
+func (b *Buffers) Put(sets ...*Set) {
+	if b == nil {
+		return
+	}
+	for _, s := range sets {
+		if s == nil || len(s.entries) == 0 {
+			continue
+		}
+		b.pool(s.signature()).Put(s)
+	}
+}

@@ -1,0 +1,163 @@
+package param
+
+import (
+	"sync"
+	"testing"
+)
+
+func testSet(fill float64) *Set {
+	s := New()
+	a := make([]float64, 6)
+	b := make([]float64, 4)
+	for i := range a {
+		a[i] = fill + float64(i)
+	}
+	for i := range b {
+		b[i] = -fill - float64(i)
+	}
+	s.Add("item_emb", 3, 2, a)
+	s.AddVector("h", b)
+	return s
+}
+
+func TestSameShape(t *testing.T) {
+	a, b := testSet(1), testSet(9)
+	if !SameShape(a, b) {
+		t.Fatal("identical structures reported different")
+	}
+	c := New()
+	c.Add("item_emb", 2, 3, make([]float64, 6)) // same size, different shape
+	c.AddVector("h", make([]float64, 4))
+	if SameShape(a, c) {
+		t.Fatal("different shapes reported same")
+	}
+	if SameShape(a, New()) {
+		t.Fatal("empty set reported same as non-empty")
+	}
+}
+
+func TestCloneIntoReusesStorage(t *testing.T) {
+	src := testSet(1)
+	dst := testSet(100)
+	before := dst.Get("item_emb")
+	got := src.CloneInto(dst)
+	if got != dst {
+		t.Fatal("CloneInto allocated despite matching shape")
+	}
+	if &before[0] != &got.Get("item_emb")[0] {
+		t.Fatal("CloneInto replaced backing storage")
+	}
+	if !Equal(src, got, 0) {
+		t.Fatal("CloneInto values differ from source")
+	}
+	// Mismatched or nil destination falls back to a fresh clone.
+	if fresh := src.CloneInto(nil); !Equal(src, fresh, 0) {
+		t.Fatal("CloneInto(nil) not a clone")
+	}
+	other := New()
+	other.AddVector("h", make([]float64, 4))
+	if fresh := src.CloneInto(other); fresh == other || !Equal(src, fresh, 0) {
+		t.Fatal("CloneInto with mismatched shape must allocate a clone")
+	}
+}
+
+func TestBuffersCloneRecycles(t *testing.T) {
+	var b Buffers
+	src := testSet(1)
+	first := b.Clone(src)
+	if !Equal(src, first, 0) {
+		t.Fatal("pooled clone differs from source")
+	}
+	addr := &first.Get("item_emb")[0]
+	b.Put(first)
+	src2 := testSet(7)
+	second := b.Clone(src2)
+	if !Equal(src2, second, 0) {
+		t.Fatal("recycled clone differs from source")
+	}
+	// sync.Pool randomizes reuse under the race detector, so only
+	// assert storage identity in regular builds.
+	if !raceEnabled && &second.Get("item_emb")[0] != addr {
+		t.Fatal("second clone did not reuse recycled storage")
+	}
+}
+
+func TestBuffersDoesNotMixShapes(t *testing.T) {
+	var b Buffers
+	full := testSet(1)
+	b.Put(b.Clone(full))
+	partial := New()
+	partial.AddVector("h", []float64{1, 2, 3, 4})
+	got := b.Clone(partial)
+	if got.Len() != 1 || !got.Has("h") || got.Has("item_emb") {
+		t.Fatalf("clone of partial set has wrong structure: %v", got)
+	}
+	if !Equal(partial, got, 0) {
+		t.Fatal("partial clone values differ")
+	}
+}
+
+func TestBuffersCloneWithout(t *testing.T) {
+	var b Buffers
+	src := testSet(3)
+	first := b.CloneWithout(src, "item_emb")
+	if first.Has("item_emb") || !first.Has("h") {
+		t.Fatalf("CloneWithout kept dropped entry: %v", first)
+	}
+	for i, v := range first.Get("h") {
+		if v != src.Get("h")[i] {
+			t.Fatal("CloneWithout values differ")
+		}
+	}
+	addr := &first.Get("h")[0]
+	b.Put(first)
+	src2 := testSet(11)
+	second := b.CloneWithout(src2, "item_emb")
+	if !raceEnabled && &second.Get("h")[0] != addr {
+		t.Fatal("filtered clone did not reuse recycled storage")
+	}
+	for i, v := range second.Get("h") {
+		if v != src2.Get("h")[i] {
+			t.Fatal("recycled filtered clone values differ")
+		}
+	}
+	// The filtered structure must not satisfy a full-structure request.
+	if got := b.Clone(src); !SameShape(got, src) {
+		t.Fatal("full clone received filtered structure")
+	}
+}
+
+func TestNilBuffersFallBack(t *testing.T) {
+	var b *Buffers
+	src := testSet(2)
+	if got := b.Clone(src); !Equal(src, got, 0) {
+		t.Fatal("nil Buffers Clone broken")
+	}
+	if got := b.CloneWithout(src, "item_emb"); got.Has("item_emb") {
+		t.Fatal("nil Buffers CloneWithout broken")
+	}
+	b.Put(src) // must not panic
+}
+
+// The pool is shared by all workers of a simulation; hammer it from
+// several goroutines to give the race detector something to chew on.
+func TestBuffersConcurrent(t *testing.T) {
+	var b Buffers
+	src := testSet(5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := b.Clone(src)
+				if len(c.Get("item_emb")) != 6 {
+					panic("bad clone")
+				}
+				p := b.CloneWithout(src, "item_emb")
+				b.Put(c, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

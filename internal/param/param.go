@@ -30,6 +30,10 @@ type Entry struct {
 type Set struct {
 	entries []Entry
 	index   map[string]int
+	// sig is the structural signature used by Buffers to key its
+	// free-lists, maintained eagerly by Add so concurrent readers never
+	// observe a cache fill.
+	sig string
 }
 
 // New returns an empty set.
@@ -52,7 +56,9 @@ func (s *Set) Add(name string, rows, cols int, data []float64) {
 		panic(fmt.Sprintf("param: entry %q shape %dx%d != len %d", name, rows, cols, len(data)))
 	}
 	s.index[name] = len(s.entries)
-	s.entries = append(s.entries, Entry{Name: name, Rows: rows, Cols: cols, Data: data})
+	e := Entry{Name: name, Rows: rows, Cols: cols, Data: data}
+	s.entries = append(s.entries, e)
+	s.sig = appendEntrySig(s.sig, e)
 }
 
 // AddVector registers a length-n vector under name.
@@ -103,6 +109,10 @@ func (s *Set) Names() []string {
 // Len returns the number of entries.
 func (s *Set) Len() int { return len(s.entries) }
 
+// At returns the i'th entry in registration order. Together with Len
+// it lets hot loops walk a set without the allocation of Names().
+func (s *Set) At(i int) Entry { return s.entries[i] }
+
 // NumParams returns the total number of scalar parameters.
 func (s *Set) NumParams() int {
 	var n int
@@ -121,6 +131,24 @@ func (s *Set) Clone() *Set {
 		out.Add(e.Name, e.Rows, e.Cols, d)
 	}
 	return out
+}
+
+// CloneInto overwrites dst with a deep copy of s, reusing dst's
+// backing storage when the shapes match. When dst is nil or shaped
+// differently a fresh set is allocated, so the idiom
+//
+//	snapshot = src.CloneInto(snapshot)
+//
+// allocates on the first call and is allocation-free afterwards. It
+// returns the destination.
+func (s *Set) CloneInto(dst *Set) *Set {
+	if dst == nil || !SameShape(dst, s) {
+		return s.Clone()
+	}
+	for i := range dst.entries {
+		copy(dst.entries[i].Data, s.entries[i].Data)
+	}
+	return dst
 }
 
 // Filter returns a deep copy containing only the entries whose names
@@ -160,6 +188,22 @@ func (s *Set) Without(drop ...string) *Set {
 		out.Add(e.Name, e.Rows, e.Cols, d)
 	}
 	return out
+}
+
+// SameShape reports whether a and b contain identical entries (names,
+// registration order and shapes) — the precondition of every in-place
+// binary operation on sets.
+func SameShape(a, b *Set) bool {
+	if len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i, e := range a.entries {
+		o := b.entries[i]
+		if e.Name != o.Name || e.Rows != o.Rows || e.Cols != o.Cols {
+			return false
+		}
+	}
+	return true
 }
 
 // sameShape panics unless a and b contain identical entries

@@ -1,0 +1,8 @@
+//go:build race
+
+package param
+
+// raceEnabled gates assertions that are invalid under the race
+// detector (sync.Pool intentionally randomizes item reuse in race
+// builds, so pointer-identity checks on recycled storage would flake).
+const raceEnabled = true

@@ -1,0 +1,106 @@
+// Package parx provides the tiny bounded-parallelism helpers shared by
+// the protocol simulators and the experiment harness.
+//
+// The design constraint throughout this repository is determinism:
+// simulations must produce byte-identical results whatever the worker
+// count. ForEach therefore only distributes *independent* work items —
+// each item owns its RNG stream and mutable state — and callers
+// sequence every order-sensitive effect (message delivery, observer
+// callbacks, aggregation) outside the parallel region, indexing
+// results by item rather than by completion order.
+package parx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a configured worker count: n > 0 is used as
+// given, n == 0 selects runtime.NumCPU(), and n < 0 forces serial
+// execution (1).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	return 1
+}
+
+// ForEach runs fn(w, i) for every i in [0, n), distributing items
+// across at most `workers` goroutines via an atomic work queue. w is
+// the worker index in [0, workers) — callers use it to select
+// per-worker scratch state (e.g. a scratch model) that is never shared
+// between concurrently running items. With workers <= 1 (or n <= 1)
+// everything runs inline on the calling goroutine with w == 0.
+//
+// Items are claimed in index order but may complete out of order; any
+// observable effect whose order matters must be applied by the caller
+// after ForEach returns, indexed by i.
+func ForEach(workers, n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work items. It returns the error
+// of the lowest-indexed failed item, which keeps the reported error
+// deterministic regardless of completion order: an item is only
+// skipped when a lower-indexed item has already failed, and that
+// lower-indexed failure always wins the report. Items above the first
+// observed failure are skipped so an early error doesn't burn the
+// remaining work (each item can be an entire simulation).
+func ForEachErr(workers, n int, fn func(w, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	minFailed := int64(n)
+	var mu sync.Mutex
+	ForEach(workers, n, func(w, i int) {
+		if int64(i) > atomic.LoadInt64(&minFailed) {
+			return
+		}
+		if err := fn(w, i); err != nil {
+			errs[i] = err
+			mu.Lock()
+			if int64(i) < minFailed {
+				atomic.StoreInt64(&minFailed, int64(i))
+			}
+			mu.Unlock()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

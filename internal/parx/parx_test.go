@@ -1,0 +1,99 @@
+package parx
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU", got)
+	}
+	if got := Workers(-5); got != 1 {
+		t.Fatalf("Workers(-5) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 57
+		hits := make([]int32, n)
+		ForEach(workers, n, func(w, i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIndexBounded(t *testing.T) {
+	var bad atomic.Bool
+	ForEach(4, 100, func(w, i int) {
+		if w < 0 || w >= 4 {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(w, i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	err := ForEachErr(4, 10, func(w, i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want lowest-indexed error", err)
+	}
+	if err := ForEachErr(4, 10, func(w, i int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// After a failure, higher-indexed items must be skipped instead of
+// burning their (potentially expensive) work. Serial mode makes the
+// skip deterministic: everything after the failing index is skipped.
+func TestForEachErrSkipsAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran [10]bool
+	err := ForEachErr(1, 10, func(w, i int) error {
+		ran[i] = true
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	for i, r := range ran {
+		if want := i <= 3; r != want {
+			t.Fatalf("item %d ran=%v, want %v", i, r, want)
+		}
+	}
+}
