@@ -26,7 +26,7 @@ race:
 #	benchstat old.txt new.txt
 bench:
 	$(GO) test -run='^$$' -count=$(BENCH_COUNT) -benchmem \
-		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone' \
+		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate' \
 		./internal/fed/ ./internal/gossip/ ./internal/param/
 
 # Full paper-table reproduction pass (one iteration per table).

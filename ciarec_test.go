@@ -77,6 +77,11 @@ func TestRunValidation(t *testing.T) {
 		{Dataset: d, Model: "nope"},
 		{Dataset: d, Protocol: "nope"},
 		{Dataset: d, ColluderFraction: 1.5},
+		{Dataset: d, Rounds: -1},
+		{Dataset: d, ClientFraction: -0.1},
+		{Dataset: d, ClientFraction: 1.1},
+		{Dataset: d, DropoutProb: -0.1},
+		{Dataset: d, DropoutProb: 1},
 	}
 	for i, cfg := range cases {
 		if _, err := Run(cfg); err == nil {

@@ -152,8 +152,13 @@ type Result struct {
 
 // Summarize derives a Result from the recorder plus the bound inputs.
 // upper is the mean over adversaries of their observation upper bound
-// (pass 1 for FL).
+// (pass 1 for FL). With no recorded rounds (e.g. a zero-round run) it
+// returns a zero-valued Result carrying only the bounds, which are
+// configuration-derived and well-defined without any rounds.
 func (r *Recorder) Summarize(randomBound, upper float64) Result {
+	if len(r.rounds) == 0 {
+		return Result{RandomBound: randomBound, UpperBound: upper}
+	}
 	aac, round := r.MaxAAC()
 	return Result{
 		MaxAAC:      aac,

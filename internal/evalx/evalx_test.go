@@ -185,3 +185,18 @@ func TestSortedByScoreDesc(t *testing.T) {
 		t.Fatalf("masked sort = %v", got)
 	}
 }
+
+// A zero-round run (nothing recorded) must summarize to a zero Result
+// carrying only the configuration-derived bounds, not panic.
+func TestSummarizeNoRounds(t *testing.T) {
+	res := NewRecorder().Summarize(0.05, 1)
+	if res.MaxAAC != 0 || res.MaxRound != 0 || res.Best10AAC != 0 {
+		t.Fatalf("non-zero attack metrics from an empty recorder: %+v", res)
+	}
+	if len(res.Series) != 0 {
+		t.Fatalf("non-empty series from an empty recorder: %v", res.Series)
+	}
+	if res.RandomBound != 0.05 || res.UpperBound != 1 {
+		t.Fatalf("bounds not carried through: %+v", res)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/fed"
+	"github.com/collablearn/ciarec/internal/model"
+)
+
+// Regression for the shared-evalRng bug at the harness level: the
+// per-round utility curve of a full attack run (CIA observer, attack
+// accuracy evaluation, summary metrics) must be identical to the curve
+// of a bare simulation with no adversary at all. Utility evaluation
+// draws from per-(seed, round, user) streams, so no other consumer —
+// attack scoring included — can shift its negative samples.
+func TestUtilityCurveIndependentOfAttackEval(t *testing.T) {
+	spec := BenchSpec()
+	spec.Rounds = 5
+
+	d, err := MakeDataset("movielens", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("gmf", d)
+
+	withAttack, err := RunFLCIA(FLOpts{Data: d, Family: "gmf", Spec: spec, Utility: UtilityHR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withAttack.Utility) != spec.Rounds {
+		t.Fatalf("utility curve has %d rounds, want %d", len(withAttack.Utility), spec.Rounds)
+	}
+
+	// The same federation, no observer: exactly the fed.Config RunFLCIA
+	// builds, minus the adversary.
+	factory, err := MakeFactory("gmf", d, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bare []float64
+	sim, err := fed.New(fed.Config{
+		Dataset: d,
+		Factory: factory,
+		Rounds:  spec.Rounds,
+		Train:   model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers: spec.Workers,
+		OnRound: func(round int, s *fed.Simulation) {
+			bare = append(bare, s.UtilityHR(spec.HRK, spec.NumNeg))
+		},
+		Seed: spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	for r := range bare {
+		if withAttack.Utility[r] != bare[r] {
+			t.Fatalf("round %d utility differs with attack evaluation on: %v != %v",
+				r, withAttack.Utility[r], bare[r])
+		}
+	}
+}

@@ -89,7 +89,10 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		NumUsers: o.Data.NumUsers,
 		Eval:     ev,
 	}
-	if !shareLess && o.Spec.Workers > 1 {
+	// Parallel CIA scoring whenever the spec doesn't force serial
+	// execution: Workers == 0 resolves to runtime.NumCPU() inside
+	// attack.New once NewEval is supplied.
+	if !shareLess && (o.Spec.Workers == 0 || o.Spec.Workers > 1) {
 		cfg.Workers = o.Spec.Workers
 		cfg.NewEval = func() attack.Evaluator {
 			return attack.NewRecommenderEval(factory(0), targets)
@@ -116,6 +119,11 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		Train:          model.TrainOptions{Epochs: o.Spec.LocalEpochs},
 		Workers:        o.Spec.Workers,
 		Observer:       obs,
+		// Utility sweeps run on the simulator's deterministic parallel
+		// evaluation engine (Spec.Workers, per-(seed, round, user)
+		// negative streams), so the recorded curve is independent of the
+		// worker count, of the attack evaluation above and of how often
+		// it is sampled.
 		OnRound: func(round int, s *fed.Simulation) {
 			switch o.Utility {
 			case UtilityHR:

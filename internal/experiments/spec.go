@@ -57,7 +57,8 @@ type Spec struct {
 	// LocalEpochs is the per-round local-training length.
 	LocalEpochs int
 	// Workers bounds per-run parallelism: the protocol simulators'
-	// client/node training pools and CIA scoring in FL runs. 0 lets the
+	// client/node training pools, their utility-evaluation sweeps and
+	// the FedAvg reduce, plus CIA scoring in FL runs. 0 lets the
 	// simulators default to runtime.NumCPU(). Results are independent
 	// of the value (see fed.Config.Workers / gossip.Config.Workers).
 	Workers int

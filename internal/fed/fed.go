@@ -72,12 +72,15 @@ type Config struct {
 	Train model.TrainOptions
 
 	// Workers bounds the number of goroutines running per-client local
-	// training concurrently. 0 defaults to runtime.NumCPU(); negative
+	// training, the sharded FedAvg reduce and the UtilityHR/UtilityF1
+	// sweeps concurrently. 0 defaults to runtime.NumCPU(); negative
 	// forces serial execution. Results are byte-identical whatever the
 	// worker count: every client owns its RNG stream and private state,
 	// round-level randomness (sampling, dropout) is drawn before
-	// dispatch, and uploads are observed and aggregated in client-index
-	// order.
+	// dispatch, uploads are observed and aggregated in client-index
+	// order, reduce shards preserve the serial addition order, and
+	// utility evaluation derives one counter-based stream per
+	// (seed, round, user).
 	Workers int
 
 	// Observer optionally receives all uploads (the adversary hook).
@@ -136,19 +139,31 @@ type Simulation struct {
 	scratch model.Recommender // reusable client/eval workspace (worker 0)
 	clients []clientState
 	rng     *rand.Rand
-	evalRng *rand.Rand
 	round   int
 	traffic Traffic
 
 	privateEntries []string
+	privateSet     map[string]struct{}
 
 	workers   int
 	scratches []model.Recommender // per-worker client workspaces
 	pool      param.Buffers       // payload free-list
-	aggBuf    []float64           // reusable aggregation accumulator
 	payloads  []*param.Set        // per-round payload staging, by sample index
 	dropped   []bool              // per-round dropout decisions, by sample index
 	uploads   []upload            // reusable aggregation input
+
+	// Sharded-reduce state: one accumulator region per entry (offsets
+	// into aggBuf), a reusable chunk work-list and normalized weights.
+	aggBuf    []float64
+	aggOff    []int
+	aggChunks []aggChunk
+	aggW      []float64
+
+	// Utility-evaluation state: the deterministic parallel engine plus,
+	// per worker, the user whose private rows are currently installed in
+	// that worker's scratch model (-1 = scratch needs a global re-sync).
+	eval     *model.Eval
+	evalPrev []int
 }
 
 // Traffic returns the accumulated upload statistics.
@@ -181,7 +196,6 @@ func New(cfg Config) (*Simulation, error) {
 		scratch:        global.Clone(),
 		clients:        make([]clientState, cfg.Dataset.NumUsers),
 		rng:            rng,
-		evalRng:        mathx.NewRand(cfg.Seed ^ 0xabcdef),
 		privateEntries: global.PrivateEntries(),
 		workers:        parx.Workers(cfg.Workers),
 	}
@@ -190,17 +204,28 @@ func New(cfg Config) (*Simulation, error) {
 	if s.workers > cfg.Dataset.NumUsers {
 		s.workers = cfg.Dataset.NumUsers
 	}
-	var maxEntry int
-	for _, name := range global.Params().Names() {
-		if n := len(global.Params().Get(name)); n > maxEntry {
-			maxEntry = n
-		}
+	s.privateSet = make(map[string]struct{}, len(s.privateEntries))
+	for _, n := range s.privateEntries {
+		s.privateSet[n] = struct{}{}
 	}
-	s.aggBuf = make([]float64, maxEntry)
+	// One accumulator region per entry so reduce chunks from different
+	// entries never share storage.
+	gp := global.Params()
+	s.aggOff = make([]int, gp.Len())
+	var total int
+	for ei := 0; ei < gp.Len(); ei++ {
+		s.aggOff[ei] = total
+		total += len(gp.At(ei).Data)
+	}
+	s.aggBuf = make([]float64, total)
 	s.scratches = []model.Recommender{s.scratch}
 	for w := 1; w < s.workers; w++ {
 		s.scratches = append(s.scratches, global.Clone())
 	}
+	// The same eval seed constant as the historical shared evalRng, now
+	// feeding per-(round, user) counter-derived streams.
+	s.eval = model.NewEval(cfg.Dataset, s.workers, cfg.Seed^0xabcdef)
+	s.evalPrev = make([]int, len(s.scratches))
 	for u := range s.clients {
 		s.clients[u] = clientState{
 			rng:         mathx.Split(rng),
@@ -363,7 +388,25 @@ type upload struct {
 	weight  float64
 }
 
-// aggregate folds the uploads into the global model.
+// aggChunk is one unit of the sharded reduce: the element range
+// [lo, hi) of parameter entry ei.
+type aggChunk struct {
+	ei, lo, hi int
+}
+
+// aggShard is the reduce chunk size in elements. Entries smaller than
+// this (biases, output layers) stay single-chunk; paper-scale item
+// tables (tens of thousands of rows) split into enough chunks to keep
+// every worker busy.
+const aggShard = 2048
+
+// aggregate folds the uploads into the global model: row routing for
+// the private user tables, then the weighted-delta FedAvg reduce
+// sharded per entry element-range over the worker pool. Chunks of one
+// entry write disjoint ranges of that entry's accumulator region and of
+// the entry itself, and every element sees the same upload-order
+// addition sequence as a serial reduce — so the result is byte-
+// identical for every worker count.
 func (s *Simulation) aggregate(uploads []upload) {
 	if len(uploads) == 0 {
 		return
@@ -375,17 +418,18 @@ func (s *Simulation) aggregate(uploads []upload) {
 	if totalW == 0 {
 		totalW = 1
 	}
-	private := make(map[string]struct{}, len(s.privateEntries))
-	for _, n := range s.privateEntries {
-		private[n] = struct{}{}
+	s.aggW = s.aggW[:0]
+	for _, up := range uploads {
+		s.aggW = append(s.aggW, up.weight/totalW)
 	}
 	globalParams := s.global.Params()
+	s.aggChunks = s.aggChunks[:0]
 	for ei := 0; ei < globalParams.Len(); ei++ {
 		ge := globalParams.At(ei)
 		name := ge.Name
-		if _, isUserTable := private[name]; isUserTable {
+		if _, isUserTable := s.privateSet[name]; isUserTable {
 			// Row routing: take row u from client u's upload (if the
-			// policy shared it at all).
+			// policy shared it at all). Cheap — stays serial.
 			for _, up := range uploads {
 				if !up.payload.Has(name) {
 					continue
@@ -396,69 +440,96 @@ func (s *Simulation) aggregate(uploads []upload) {
 			}
 			continue
 		}
-		// Weighted-delta FedAvg for every other shared entry, accumulated
-		// in the reusable round buffer (allocation-free).
-		acc := s.aggBuf[:len(ge.Data)]
-		mathx.Zero(acc)
 		var any bool
 		for _, up := range uploads {
-			if !up.payload.Has(name) {
-				continue
-			}
-			any = true
-			pe := up.payload.Entry(name)
-			w := up.weight / totalW
-			for i := range acc {
-				acc[i] += w * (pe.Data[i] - ge.Data[i])
+			if up.payload.Has(name) {
+				any = true
+				break
 			}
 		}
-		if any {
-			mathx.Axpy(1, acc, ge.Data)
+		if !any {
+			continue
+		}
+		for lo := 0; lo < len(ge.Data); lo += aggShard {
+			hi := lo + aggShard
+			if hi > len(ge.Data) {
+				hi = len(ge.Data)
+			}
+			s.aggChunks = append(s.aggChunks, aggChunk{ei: ei, lo: lo, hi: hi})
 		}
 	}
+	parx.ForEach(s.workers, len(s.aggChunks), func(_, ci int) {
+		c := s.aggChunks[ci]
+		ge := globalParams.At(c.ei)
+		acc := s.aggBuf[s.aggOff[c.ei]+c.lo : s.aggOff[c.ei]+c.hi]
+		mathx.Zero(acc)
+		gd := ge.Data[c.lo:c.hi]
+		for ui := range uploads {
+			if !uploads[ui].payload.Has(ge.Name) {
+				continue
+			}
+			pe := uploads[ui].payload.Get(ge.Name)[c.lo:c.hi]
+			w := s.aggW[ui]
+			for i := range acc {
+				acc[i] += w * (pe[i] - gd[i])
+			}
+		}
+		mathx.Axpy(1, acc, gd)
+	})
 }
 
 // UtilityHR computes the mean leave-one-out hit ratio across users,
 // honouring Share-less privacy: each user is evaluated with the global
-// model plus their own private rows.
+// model plus their own private rows. The sweep fans out over the worker
+// pool with one negative-sampling stream per (seed, round, user), so
+// the value is byte-identical for every Workers setting and depends
+// only on the seed, the current round and the model — never on how
+// often (or whether) earlier rounds were evaluated.
 func (s *Simulation) UtilityHR(k, numNeg int) float64 {
-	var sum float64
-	var evaluable int
-	for u := 0; u < s.cfg.Dataset.NumUsers; u++ {
-		m := s.effectiveModel(u)
-		if hit, ok := model.HitForUser(m, s.cfg.Dataset, u, k, numNeg, s.evalRng); ok {
-			sum += hit
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+	s.beginUtilitySweep()
+	return s.eval.HR(s.round, s.evalModel, k, numNeg)
 }
 
 // UtilityF1 computes the mean top-k F1 across users, honouring
 // Share-less privacy like UtilityHR.
 func (s *Simulation) UtilityF1(k int) float64 {
-	var sum float64
-	var evaluable int
-	for u := 0; u < s.cfg.Dataset.NumUsers; u++ {
-		m := s.effectiveModel(u)
-		if f1, ok := model.F1ForUser(m, s.cfg.Dataset, u, k); ok {
-			sum += f1
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+	s.beginUtilitySweep()
+	return s.eval.F1(s.evalModel, k)
 }
 
-// effectiveModel returns the model user u would serve recommendations
-// with: the global model overlaid with u's private rows.
-func (s *Simulation) effectiveModel(u int) model.Recommender {
-	s.scratch.Params().CopyFrom(s.global.Params())
-	s.installPrivateRows(s.scratch, u)
-	return s.scratch
+// beginUtilitySweep marks every worker scratch as stale: training
+// rounds reuse the same scratch models, so each worker's first
+// evaluated user triggers a full re-sync from the global parameters.
+func (s *Simulation) beginUtilitySweep() {
+	for w := range s.evalPrev {
+		s.evalPrev[w] = -1
+	}
+}
+
+// evalModel prepares worker w's scratch as the model user u would serve
+// recommendations with: the global model overlaid with u's private
+// rows. After the first user, only the previous user's private rows are
+// restored from the global table instead of re-copying every parameter
+// — evaluation never mutates parameters, so the scratch stays a faithful
+// copy of the global model elsewhere.
+func (s *Simulation) evalModel(w, u int) model.Recommender {
+	m := s.scratches[w]
+	if s.evalPrev[w] < 0 {
+		m.Params().CopyFrom(s.global.Params())
+	} else {
+		s.restoreGlobalRows(m, s.evalPrev[w])
+	}
+	s.evalPrev[w] = u
+	s.installPrivateRows(m, u)
+	return m
+}
+
+// restoreGlobalRows undoes installPrivateRows for user u by copying the
+// global table's rows back into the scratch model.
+func (s *Simulation) restoreGlobalRows(m model.Recommender, u int) {
+	for _, name := range s.privateEntries {
+		ge := s.global.Params().Entry(name)
+		e := m.Params().Entry(name)
+		copy(e.Data[u*e.Cols:(u+1)*e.Cols], ge.Data[u*ge.Cols:(u+1)*ge.Cols])
+	}
 }

@@ -107,12 +107,14 @@ type Config struct {
 	Train model.TrainOptions
 
 	// Workers bounds the number of goroutines running per-node work
-	// (view refresh, payload construction, inbox aggregation and local
-	// training) concurrently. 0 defaults to runtime.NumCPU(); negative
-	// forces serial execution. Results are byte-identical whatever the
-	// worker count: every node owns its RNG stream, and message
-	// delivery plus observer callbacks happen sequentially in node
-	// order between the parallel phases.
+	// (view refresh, payload construction, inbox aggregation, local
+	// training) and the UtilityHR/UtilityF1 sweeps concurrently. 0
+	// defaults to runtime.NumCPU(); negative forces serial execution.
+	// Results are byte-identical whatever the worker count: every node
+	// owns its RNG stream, message delivery plus observer callbacks
+	// happen sequentially in node order between the parallel phases,
+	// and utility evaluation derives one counter-based stream per
+	// (seed, round, node).
 	Workers int
 
 	Observer Observer
@@ -174,7 +176,7 @@ type Simulation struct {
 	cfg     Config
 	nodes   []node
 	rng     *rand.Rand
-	evalRng *rand.Rand
+	eval    *model.Eval
 	round   int
 	traffic Traffic
 
@@ -225,10 +227,12 @@ func New(cfg Config) (*Simulation, error) {
 		cfg:     cfg,
 		nodes:   make([]node, n),
 		rng:     rng,
-		evalRng: mathx.NewRand(cfg.Seed ^ 0xabcdef),
 		workers: parx.Workers(cfg.Workers),
 		pushes:  make([]push, n),
 	}
+	// The same eval seed constant as the historical shared evalRng, now
+	// feeding per-(round, user) counter-derived streams.
+	s.eval = model.NewEval(cfg.Dataset, s.workers, cfg.Seed^0xabcdef)
 	for u := 0; u < n; u++ {
 		m := cfg.Factory(rng.Uint64())
 		if m.NumUsers() != n || m.NumItems() != cfg.Dataset.NumItems {
@@ -498,37 +502,23 @@ func (s *Simulation) probeItems(u int) []int {
 }
 
 // UtilityHR is the mean leave-one-out hit ratio across nodes, each
-// evaluated with its own local model (GL has no global model).
+// evaluated with its own local model (GL has no global model). The
+// sweep fans out over the worker pool with one negative-sampling stream
+// per (seed, round, node): byte-identical for every Workers setting and
+// independent of any other RNG consumption (each node's model is owned
+// by exactly one work item, so model-owned forward scratch never races).
 func (s *Simulation) UtilityHR(k, numNeg int) float64 {
-	var sum float64
-	var evaluable int
-	for u := range s.nodes {
-		if hit, ok := model.HitForUser(s.nodes[u].m, s.cfg.Dataset, u, k, numNeg, s.evalRng); ok {
-			sum += hit
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+	return s.eval.HR(s.round, s.nodeModel, k, numNeg)
 }
 
 // UtilityF1 is the mean top-k F1 across nodes on their local models.
 func (s *Simulation) UtilityF1(k int) float64 {
-	var sum float64
-	var evaluable int
-	for u := range s.nodes {
-		if f1, ok := model.F1ForUser(s.nodes[u].m, s.cfg.Dataset, u, k); ok {
-			sum += f1
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+	return s.eval.F1(s.nodeModel, k)
 }
+
+// nodeModel is the eval engine's pick function: node u evaluates with
+// its own model.
+func (s *Simulation) nodeModel(_, u int) model.Recommender { return s.nodes[u].m }
 
 func min(a, b int) int {
 	if a < b {

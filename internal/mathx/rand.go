@@ -20,6 +20,45 @@ func Split(r *rand.Rand) *rand.Rand {
 	return rand.New(rand.NewPCG(r.Uint64(), r.Uint64()))
 }
 
+// mix64 is the SplitMix64 finalizer (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"): a bijective avalanche hash whose
+// outputs over counter inputs pass BigCrush. It is the key-derivation
+// primitive behind StreamSeeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StreamSeeds derives a PCG seed pair for the substream of seed
+// labelled by ids — counter-based stream derivation in the Philox
+// spirit: the stream for (seed, id₀, id₁, …) is a pure function of the
+// labels, independent of how many draws any other stream has consumed
+// and of the order streams are created in.
+//
+// The evaluation engine keys utility sweeps by (seed, round, user) so a
+// round's negative samples never depend on evaluation history (see
+// model.EvalOptions).
+func StreamSeeds(seed uint64, ids ...uint64) (lo, hi uint64) {
+	h := mix64(seed ^ 0x2545f4914f6cdd1d)
+	for _, id := range ids {
+		h = mix64(h ^ mix64(id+0x9e3779b97f4a7c15))
+	}
+	return h, mix64(h ^ 0x6a09e667f3bcc909)
+}
+
+// NewStreamRand returns a generator positioned at the start of the
+// (seed, ids...) substream (see StreamSeeds). Hot loops that reseed per
+// item should instead hold a rand.PCG and call Seed with StreamSeeds to
+// stay allocation-free.
+func NewStreamRand(seed uint64, ids ...uint64) *rand.Rand {
+	lo, hi := StreamSeeds(seed, ids...)
+	return rand.New(rand.NewPCG(lo, hi))
+}
+
 // Normal returns a draw from N(mean, stddev²).
 func Normal(r *rand.Rand, mean, stddev float64) float64 {
 	return mean + stddev*r.NormFloat64()

@@ -28,6 +28,33 @@ func TopK(x []float64, k int) []int {
 	return ArgsortDesc(x)[:k]
 }
 
+// TopKSelect writes the indices of the k largest values of x into dst
+// in the exact order TopK returns them (decreasing value, ascending
+// index on ties) and returns dst[:min(k, len(x))]. It is the
+// allocation-free variant for hot evaluation sweeps: dst must have
+// capacity for min(k, len(x)) entries, and x is CONSUMED — selected
+// positions are overwritten with -Inf.
+func TopKSelect(x []float64, k int, dst []int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	dst = dst[:0]
+	for len(dst) < k {
+		best := 0
+		for i := 1; i < len(x); i++ {
+			if x[i] > x[best] {
+				best = i
+			}
+		}
+		dst = append(dst, best)
+		x[best] = math.Inf(-1)
+	}
+	return dst
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of x using linear
 // interpolation between order statistics. It panics on an empty slice
 // or an out-of-range q. The input is not modified.

@@ -150,3 +150,30 @@ func TestJaccardInt(t *testing.T) {
 		})
 	}
 }
+
+// TopKSelect must reproduce TopK's exact order (decreasing value,
+// ascending-index ties) without allocating, consuming its input.
+func TestTopKSelectMatchesTopK(t *testing.T) {
+	r := NewRand(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.IntN(40)
+		x := make([]float64, n)
+		for i := range x {
+			// Coarse values force plenty of ties.
+			x[i] = float64(r.IntN(6))
+		}
+		for _, k := range []int{0, 1, 3, n, n + 5} {
+			want := TopK(x, k)
+			consumed := append([]float64(nil), x...)
+			got := TopKSelect(consumed, k, make([]int, 0, n))
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d != %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: index %d: %d != %d (x=%v)", n, k, i, got[i], want[i], x)
+				}
+			}
+		}
+	}
+}

@@ -91,14 +91,14 @@ func TestBPRMFTrainingRanksPositivesHigher(t *testing.T) {
 func TestBPRMFHitRatioImproves(t *testing.T) {
 	d := tinyDataset(t)
 	m := NewBPRMF(d.NumUsers, d.NumItems, 8, 3)
-	before := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	before := HitRatioAtK(m, d, 10, 40, EvalOptions{Seed: 2, Workers: -1})
 	r := mathx.NewRand(1)
 	for e := 0; e < 15; e++ {
 		for u := 0; u < d.NumUsers; u++ {
 			m.TrainLocal(d, u, TrainOptions{Rand: r})
 		}
 	}
-	after := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	after := HitRatioAtK(m, d, 10, 40, EvalOptions{Seed: 2, Workers: -1})
 	if after <= before {
 		t.Fatalf("training did not improve HR: %.3f -> %.3f", before, after)
 	}

@@ -1,0 +1,190 @@
+package model
+
+import (
+	"math/rand/v2"
+
+	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/parx"
+)
+
+// EvalOptions is the deterministic sweep context for HitRatioAtK and
+// F1AtK. The zero value evaluates on every core with seed 0 at round 0.
+type EvalOptions struct {
+	// Workers bounds the sweep's parallelism (parx semantics: 0 selects
+	// runtime.NumCPU(), negative forces serial). The result is
+	// byte-identical for every setting.
+	Workers int
+	// Seed is the base seed of the negative-sampling streams. Each user
+	// draws from the independent (Seed, Round, user) stream, so the
+	// sweep never depends on what any other RNG consumer did before it.
+	Seed uint64
+	// Round labels the sweep: re-evaluating the same round reproduces
+	// the same negatives, while distinct rounds get fresh ones.
+	Round int
+}
+
+// Eval is a reusable deterministic parallel evaluation engine for the
+// per-user utility sweeps (leave-one-out HR@K, top-K F1). It fans users
+// out over a bounded worker pool with per-worker scratch, derives an
+// independent counter-based RNG stream per (seed, round, user) via
+// mathx.StreamSeeds, and reduces per-user results in ascending user
+// order — so a sweep is byte-identical for every worker count, a pure
+// function of (seed, round, model parameters), and allocation-free in
+// steady state.
+type Eval struct {
+	d       *dataset.Dataset
+	seed    uint64
+	workers int
+	scratch []evalScratch
+	items   []int // identity catalogue shared by F1 sweeps (read-only)
+	vals    []float64
+	oks     []bool
+}
+
+// evalScratch is one worker's private buffers: a reseedable generator
+// (redirected to the (seed, round, user) stream before each user) and
+// the candidate/score storage the per-user metrics write into.
+type evalScratch struct {
+	pcg        *rand.PCG
+	rng        *rand.Rand
+	candidates []int
+	scores     []float64
+	top        []int
+}
+
+// NewEval builds an engine for d. workers follows parx semantics and is
+// additionally clamped to the user count (a sweep never has more
+// independent work items than users).
+func NewEval(d *dataset.Dataset, workers int, seed uint64) *Eval {
+	w := parx.Workers(workers)
+	if w > d.NumUsers {
+		w = d.NumUsers
+	}
+	if w < 1 {
+		w = 1
+	}
+	e := &Eval{
+		d:       d,
+		seed:    seed,
+		workers: w,
+		scratch: make([]evalScratch, w),
+		vals:    make([]float64, d.NumUsers),
+		oks:     make([]bool, d.NumUsers),
+	}
+	for i := range e.scratch {
+		pcg := rand.NewPCG(0, 0)
+		e.scratch[i] = evalScratch{pcg: pcg, rng: rand.New(pcg)}
+	}
+	return e
+}
+
+// Workers returns the resolved worker count, so callers can size
+// per-worker model scratch to match the pick function's w argument.
+func (e *Eval) Workers() int { return e.workers }
+
+// HR computes the mean leave-one-out hit ratio over evaluable users
+// (0 when there are none). pick(w, u) returns the model worker w
+// evaluates user u with; it runs on worker w's goroutine and may
+// prepare per-worker scratch models, but must not touch state shared
+// with other workers. round selects the negative-sampling streams (see
+// EvalOptions). It panics unless k and numNeg are positive.
+func (e *Eval) HR(round int, pick func(w, u int) Recommender, k, numNeg int) float64 {
+	if k <= 0 || numNeg <= 0 {
+		panic("model: HR sweep requires positive k and numNeg")
+	}
+	parx.ForEach(e.workers, e.d.NumUsers, func(w, u int) {
+		if len(e.d.Test[u]) == 0 {
+			e.oks[u] = false
+			return
+		}
+		sc := &e.scratch[w]
+		sc.pcg.Seed(mathx.StreamSeeds(e.seed, uint64(round), uint64(u)))
+		sc.candidates = growInts(sc.candidates, numNeg+1)
+		sc.scores = growFloats(sc.scores, numNeg+1)
+		e.vals[u], e.oks[u] = hitForUserInto(
+			pick(w, u), e.d, u, k, numNeg, sc.rng, sc.candidates, sc.scores)
+	})
+	return e.reduce()
+}
+
+// F1 computes the mean top-k F1 over evaluable users (0 when there are
+// none). The metric is deterministic given the model parameters — no
+// RNG is involved — so no round label is needed. pick follows the same
+// contract as in HR. It panics unless k is positive.
+func (e *Eval) F1(pick func(w, u int) Recommender, k int) float64 {
+	if k <= 0 {
+		panic("model: F1 sweep requires positive k")
+	}
+	if e.items == nil {
+		e.items = make([]int, e.d.NumItems)
+		for i := range e.items {
+			e.items[i] = i
+		}
+	}
+	kTop := k
+	if kTop > e.d.NumItems {
+		kTop = e.d.NumItems
+	}
+	parx.ForEach(e.workers, e.d.NumUsers, func(w, u int) {
+		if len(e.d.Test[u]) == 0 {
+			e.oks[u] = false
+			return
+		}
+		sc := &e.scratch[w]
+		sc.scores = growFloats(sc.scores, e.d.NumItems)
+		sc.top = growInts(sc.top, kTop)
+		e.vals[u], e.oks[u] = f1ForUserInto(
+			pick(w, u), e.d, u, k, e.items, sc.scores[:e.d.NumItems], sc.top)
+	})
+	return e.reduce()
+}
+
+// ClonePick returns a pick function serving m itself to worker 0 and
+// lazily-built clones to the others. Model forward passes route through
+// model-owned scratch (NeuMF), so concurrent workers must never score
+// through one shared Recommender.
+func (e *Eval) ClonePick(m Recommender) func(w, u int) Recommender {
+	clones := make([]Recommender, e.workers)
+	clones[0] = m
+	return func(w, _ int) Recommender {
+		if clones[w] == nil {
+			clones[w] = m.Clone()
+		}
+		return clones[w]
+	}
+}
+
+// reduce folds the per-user staging area in ascending user order, which
+// fixes the floating-point addition order independently of which worker
+// produced which value.
+func (e *Eval) reduce() float64 {
+	var sum float64
+	var evaluable int
+	for u, ok := range e.oks {
+		if ok {
+			sum += e.vals[u]
+			evaluable++
+		}
+	}
+	if evaluable == 0 {
+		return 0
+	}
+	return sum / float64(evaluable)
+}
+
+// growInts returns s resized to n, reallocating only when capacity is
+// insufficient (the steady-state path is allocation-free).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

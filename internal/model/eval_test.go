@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/mathx"
+)
+
+// The engine's core guarantee: utility sweeps are byte-identical for
+// every worker count, for both metrics and for a scratch-owning model
+// family (NeuMF routes its forward pass through model-owned scratch).
+func TestEvalWorkersInvariance(t *testing.T) {
+	d := tinyDataset(t)
+	families := map[string]Recommender{
+		"gmf":   NewGMF(d.NumUsers, d.NumItems, 8, 3),
+		"neumf": NewNeuMF(d.NumUsers, d.NumItems, 8, 3),
+	}
+	for name, m := range families {
+		serialHR := HitRatioAtK(m, d, 10, 30, EvalOptions{Seed: 9, Workers: -1})
+		parallelHR := HitRatioAtK(m, d, 10, 30, EvalOptions{Seed: 9, Workers: 4})
+		if serialHR != parallelHR {
+			t.Errorf("%s: HR differs across workers: %v != %v", name, serialHR, parallelHR)
+		}
+		serialF1 := F1AtK(m, d, 10, EvalOptions{Workers: -1})
+		parallelF1 := F1AtK(m, d, 10, EvalOptions{Workers: 4})
+		if serialF1 != parallelF1 {
+			t.Errorf("%s: F1 differs across workers: %v != %v", name, serialF1, parallelF1)
+		}
+	}
+}
+
+// The counter-based streams make a sweep a pure function of
+// (seed, round, model): re-evaluating must reproduce the value exactly,
+// regardless of any evaluation that happened in between, and distinct
+// rounds must draw distinct negatives.
+func TestEvalHistoryIndependence(t *testing.T) {
+	d := tinyDataset(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 8, 3)
+	e := NewEval(d, 2, 9)
+	pick := e.ClonePick(m)
+
+	first := e.HR(3, pick, 10, 30)
+	// Unrelated consumption: other rounds, other metrics.
+	e.HR(0, pick, 10, 30)
+	e.HR(7, pick, 5, 20)
+	e.F1(pick, 10)
+	if again := e.HR(3, pick, 10, 30); again != first {
+		t.Fatalf("HR at round 3 shifted after unrelated evaluation: %v != %v", again, first)
+	}
+	// A fresh engine with the same seed agrees too.
+	if fresh := NewEval(d, 4, 9); fresh.HR(3, fresh.ClonePick(m), 10, 30) != first {
+		t.Fatal("fresh engine disagrees with original at the same (seed, round)")
+	}
+}
+
+// F1 sweeps draw no randomness, so the engine must agree exactly with
+// the single-user reference implementation.
+func TestEvalF1MatchesPerUserReference(t *testing.T) {
+	d := tinyUnsplit(t)
+	d.SplitFraction(0.25)
+	m := NewPRME(d.NumUsers, d.NumItems, 8, 3)
+	r := mathx.NewRand(1)
+	for u := 0; u < d.NumUsers; u++ {
+		m.TrainLocal(d, u, TrainOptions{Rand: r, Epochs: 3})
+	}
+	var sum float64
+	var evaluable int
+	for u := 0; u < d.NumUsers; u++ {
+		if f1, ok := F1ForUser(m, d, u, 10); ok {
+			sum += f1
+			evaluable++
+		}
+	}
+	want := sum / float64(evaluable)
+	if got := F1AtK(m, d, 10, EvalOptions{Workers: 3}); got != want {
+		t.Fatalf("engine F1 %v != per-user reference %v", got, want)
+	}
+}
+
+// HR sweeps on the engine must agree with the single-user reference
+// when that reference is driven by the same per-user streams.
+func TestEvalHRMatchesPerUserReference(t *testing.T) {
+	d := tinyDataset(t)
+	m := NewGMF(d.NumUsers, d.NumItems, 8, 3)
+	const seed, round = 5, 2
+	var sum float64
+	var evaluable int
+	for u := 0; u < d.NumUsers; u++ {
+		r := mathx.NewStreamRand(seed, uint64(round), uint64(u))
+		if hit, ok := HitForUser(m, d, u, 10, 30, r); ok {
+			sum += hit
+			evaluable++
+		}
+	}
+	want := sum / float64(evaluable)
+	e := NewEval(d, 4, seed)
+	if got := e.HR(round, e.ClonePick(m), 10, 30); got != want {
+		t.Fatalf("engine HR %v != per-user reference %v", got, want)
+	}
+}

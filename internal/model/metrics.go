@@ -18,8 +18,14 @@ func HitForUser(m Recommender, d *dataset.Dataset, u, k, numNeg int, r *rand.Ran
 	if len(d.Test[u]) == 0 {
 		return 0, false
 	}
-	candidates := make([]int, numNeg+1)
-	scores := make([]float64, numNeg+1)
+	return hitForUserInto(m, d, u, k, numNeg, r,
+		make([]int, numNeg+1), make([]float64, numNeg+1))
+}
+
+// hitForUserInto is the allocation-free core of HitForUser: candidates
+// and scores are caller-owned buffers of length numNeg+1. The caller
+// has already validated k/numNeg and that the user is evaluable.
+func hitForUserInto(m Recommender, d *dataset.Dataset, u, k, numNeg int, r *rand.Rand, candidates []int, scores []float64) (hit float64, ok bool) {
 	candidates[0] = d.Test[u][0]
 	for i := 1; i <= numNeg; i++ {
 		candidates[i] = d.SampleNegative(r, u)
@@ -43,20 +49,14 @@ func HitForUser(m Recommender, d *dataset.Dataset, u, k, numNeg int, r *rand.Ran
 
 // HitRatioAtK implements the NCF evaluation protocol used for GMF in
 // the paper: the mean of HitForUser over evaluable users (0 when there
-// are none).
-func HitRatioAtK(m Recommender, d *dataset.Dataset, k, numNeg int, r *rand.Rand) float64 {
-	var sum float64
-	var evaluable int
-	for u := 0; u < d.NumUsers; u++ {
-		if hit, ok := HitForUser(m, d, u, k, numNeg, r); ok {
-			sum += hit
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+// are none). The sweep runs on the deterministic parallel engine — the
+// result is byte-identical for every opt.Workers setting and depends
+// only on (opt.Seed, opt.Round, model parameters), never on prior RNG
+// consumption. Long-lived callers (the protocol simulators) hold a
+// model.Eval instead of paying the per-call engine construction.
+func HitRatioAtK(m Recommender, d *dataset.Dataset, k, numNeg int, opt EvalOptions) float64 {
+	e := NewEval(d, opt.Workers, opt.Seed)
+	return e.HR(opt.Round, e.ClonePick(m), k, numNeg)
 }
 
 // F1ForUser computes the F1 score of the model's top-k unseen-item
@@ -69,54 +69,59 @@ func F1ForUser(m Recommender, d *dataset.Dataset, u, k int) (f1 float64, ok bool
 	if len(d.Test[u]) == 0 {
 		return 0, false
 	}
-	allItems := make([]int, d.NumItems)
-	for i := range allItems {
-		allItems[i] = i
+	items := make([]int, d.NumItems)
+	for i := range items {
+		items[i] = i
 	}
-	scores := make([]float64, d.NumItems)
+	kTop := k
+	if kTop > d.NumItems {
+		kTop = d.NumItems
+	}
+	return f1ForUserInto(m, d, u, k, items, make([]float64, d.NumItems), make([]int, kTop))
+}
+
+// f1ForUserInto is the allocation-free core of F1ForUser. items is the
+// identity catalogue [0, NumItems), scores a NumItems-length buffer
+// (consumed: training items and selected entries are overwritten), and
+// top has capacity for min(k, NumItems) indices. The caller has already
+// validated k and that the user is evaluable.
+func f1ForUserInto(m Recommender, d *dataset.Dataset, u, k int, items []int, scores []float64, top []int) (f1 float64, ok bool) {
 	prev := -1
 	if n := len(d.Train[u]); n > 0 {
 		prev = d.Train[u][n-1]
 	}
-	m.ScoreItems(u, prev, allItems, scores)
+	m.ScoreItems(u, prev, items, scores)
 	// Exclude training items from the recommendation slate.
 	for it := range d.TrainSet(u) {
 		scores[it] = negInf
 	}
-	top := mathx.TopK(scores, k)
-	heldSet := make(map[int]struct{}, len(d.Test[u]))
-	for _, it := range d.Test[u] {
-		heldSet[it] = struct{}{}
-	}
+	top = mathx.TopKSelect(scores, k, top)
 	var hits int
 	for _, it := range top {
-		if _, ok := heldSet[it]; ok {
-			hits++
+		for _, h := range d.Test[u] {
+			if h == it {
+				hits++
+				break
+			}
 		}
 	}
 	if hits == 0 {
 		return 0, true
 	}
+	// Test[u] is duplicate-free (dataset.Validate), so its length is the
+	// held-out set size.
 	precision := float64(hits) / float64(len(top))
-	recall := float64(hits) / float64(len(heldSet))
+	recall := float64(hits) / float64(len(d.Test[u]))
 	return 2 * precision * recall / (precision + recall), true
 }
 
 // F1AtK evaluates PRME-style held-out recovery: the mean of F1ForUser
-// over evaluable users (0 when there are none).
-func F1AtK(m Recommender, d *dataset.Dataset, k int) float64 {
-	var sum float64
-	var evaluable int
-	for u := 0; u < d.NumUsers; u++ {
-		if f1, ok := F1ForUser(m, d, u, k); ok {
-			sum += f1
-			evaluable++
-		}
-	}
-	if evaluable == 0 {
-		return 0
-	}
-	return sum / float64(evaluable)
+// over evaluable users (0 when there are none), on the deterministic
+// parallel engine. Only opt.Workers is consulted — the metric draws no
+// randomness.
+func F1AtK(m Recommender, d *dataset.Dataset, k int, opt EvalOptions) float64 {
+	e := NewEval(d, opt.Workers, opt.Seed)
+	return e.F1(e.ClonePick(m), k)
 }
 
 const negInf = -1e300

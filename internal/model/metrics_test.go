@@ -23,7 +23,7 @@ func TestHitRatioBoundsAndImprovement(t *testing.T) {
 	d := tinyDataset(t)
 	m := NewGMF(d.NumUsers, d.NumItems, 8, 3)
 	r := mathx.NewRand(1)
-	untrained := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	untrained := HitRatioAtK(m, d, 10, 40, EvalOptions{Seed: 2, Workers: -1})
 	if untrained < 0 || untrained > 1 {
 		t.Fatalf("HR out of range: %v", untrained)
 	}
@@ -32,7 +32,7 @@ func TestHitRatioBoundsAndImprovement(t *testing.T) {
 			m.TrainLocal(d, u, TrainOptions{Rand: r})
 		}
 	}
-	trained := HitRatioAtK(m, d, 10, 40, mathx.NewRand(2))
+	trained := HitRatioAtK(m, d, 10, 40, EvalOptions{Seed: 2, Workers: -1})
 	if trained <= untrained {
 		t.Fatalf("training did not improve HR: %.3f -> %.3f", untrained, trained)
 	}
@@ -41,8 +41,8 @@ func TestHitRatioBoundsAndImprovement(t *testing.T) {
 func TestHitRatioK1VsKAll(t *testing.T) {
 	d := tinyDataset(t)
 	m := NewGMF(d.NumUsers, d.NumItems, 4, 3)
-	hr1 := HitRatioAtK(m, d, 1, 20, mathx.NewRand(5))
-	hrAll := HitRatioAtK(m, d, 21, 20, mathx.NewRand(5))
+	hr1 := HitRatioAtK(m, d, 1, 20, EvalOptions{Seed: 5, Workers: -1})
+	hrAll := HitRatioAtK(m, d, 21, 20, EvalOptions{Seed: 5, Workers: -1})
 	if hrAll != 1 {
 		t.Fatalf("HR@(numNeg+1) = %v, want 1", hrAll)
 	}
@@ -54,7 +54,7 @@ func TestHitRatioK1VsKAll(t *testing.T) {
 func TestHitRatioNoTestUsers(t *testing.T) {
 	d := tinyUnsplit(t)
 	m := NewGMF(d.NumUsers, d.NumItems, 4, 3)
-	if got := HitRatioAtK(m, d, 5, 10, mathx.NewRand(1)); got != 0 {
+	if got := HitRatioAtK(m, d, 5, 10, EvalOptions{Seed: 1, Workers: -1}); got != 0 {
 		t.Fatalf("HR with no test split = %v, want 0", got)
 	}
 }
@@ -67,14 +67,14 @@ func TestHitRatioPanicsOnBadArgs(t *testing.T) {
 			t.Fatal("expected panic for k <= 0")
 		}
 	}()
-	HitRatioAtK(m, d, 0, 10, mathx.NewRand(1))
+	HitRatioAtK(m, d, 0, 10, EvalOptions{Seed: 1, Workers: -1})
 }
 
 func TestF1AtKBoundsAndImprovement(t *testing.T) {
 	d := tinyUnsplit(t)
 	d.SplitFraction(0.25)
 	m := NewPRME(d.NumUsers, d.NumItems, 8, 3)
-	before := F1AtK(m, d, 10)
+	before := F1AtK(m, d, 10, EvalOptions{Workers: -1})
 	if before < 0 || before > 1 {
 		t.Fatalf("F1 out of range: %v", before)
 	}
@@ -84,7 +84,7 @@ func TestF1AtKBoundsAndImprovement(t *testing.T) {
 			m.TrainLocal(d, u, TrainOptions{Rand: r})
 		}
 	}
-	after := F1AtK(m, d, 10)
+	after := F1AtK(m, d, 10, EvalOptions{Workers: -1})
 	if after <= before {
 		t.Fatalf("training did not improve F1: %.4f -> %.4f", before, after)
 	}
@@ -93,7 +93,7 @@ func TestF1AtKBoundsAndImprovement(t *testing.T) {
 func TestF1AtKNoTestUsers(t *testing.T) {
 	d := tinyUnsplit(t)
 	m := NewPRME(d.NumUsers, d.NumItems, 4, 3)
-	if got := F1AtK(m, d, 5); got != 0 {
+	if got := F1AtK(m, d, 5, EvalOptions{Workers: -1}); got != 0 {
 		t.Fatalf("F1 with no test split = %v, want 0", got)
 	}
 }
@@ -112,7 +112,7 @@ func TestF1ExcludesTrainingItems(t *testing.T) {
 	}
 	// Sanity: the function runs and stays in range even for heavily
 	// trained single users.
-	if f1 := F1AtK(m, d, 10); f1 < 0 || f1 > 1 {
+	if f1 := F1AtK(m, d, 10, EvalOptions{Workers: -1}); f1 < 0 || f1 > 1 {
 		t.Fatalf("F1 = %v out of range", f1)
 	}
 }

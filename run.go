@@ -89,6 +89,14 @@ type RunConfig struct {
 	// ColluderFraction > 0 gives the gossip adversary a coalition of
 	// that fraction of nodes (§VI-D). Ignored under Federated.
 	ColluderFraction float64
+	// ClientFraction < 1 samples that fraction of clients per FedAvg
+	// round instead of full participation. 0 defaults to 1 (the paper's
+	// setting). Ignored under gossip protocols.
+	ClientFraction float64
+	// DropoutProb injects per-round client upload failures (crash after
+	// training, before upload) with this probability. Ignored under
+	// gossip protocols.
+	DropoutProb float64
 	// EmbeddingDim defaults to 8.
 	EmbeddingDim int
 	// LocalEpochs defaults to 2.
@@ -181,8 +189,17 @@ func (c *RunConfig) normalize() error {
 	default:
 		return fmt.Errorf("ciarec: unknown protocol %q", c.Protocol)
 	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("ciarec: Rounds %d must not be negative (0 selects the default)", c.Rounds)
+	}
 	if c.ColluderFraction < 0 || c.ColluderFraction >= 1 {
 		return fmt.Errorf("ciarec: ColluderFraction %v out of [0,1)", c.ColluderFraction)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("ciarec: ClientFraction %v out of [0,1] (0 selects full participation)", c.ClientFraction)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("ciarec: DropoutProb %v out of [0,1)", c.DropoutProb)
 	}
 	return nil
 }
@@ -207,11 +224,13 @@ func Run(cfg RunConfig) (*Report, error) {
 	)
 	if cfg.Protocol == Federated {
 		res, err = experiments.RunFLCIA(experiments.FLOpts{
-			Data:    cfg.Dataset.inner,
-			Family:  string(cfg.Model),
-			Policy:  cfg.Defense.policy(),
-			Spec:    spec,
-			Utility: utility,
+			Data:           cfg.Dataset.inner,
+			Family:         string(cfg.Model),
+			Policy:         cfg.Defense.policy(),
+			Spec:           spec,
+			Utility:        utility,
+			ClientFraction: cfg.ClientFraction,
+			DropoutProb:    cfg.DropoutProb,
 		})
 	} else {
 		variant := gossip.RandGossip
