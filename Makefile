@@ -2,7 +2,7 @@ GO ?= go
 # benchstat needs several samples per benchmark to compute intervals.
 BENCH_COUNT ?= 6
 
-.PHONY: all build vet test race bench bench-tables
+.PHONY: all build vet test race fuzz bench bench-tables
 
 all: vet build test
 
@@ -18,6 +18,12 @@ test:
 race:
 	$(GO) test -race -timeout=40m ./...
 
+# Short coverage-guided fuzz of the wire codec (the committed seed
+# corpus under internal/param/testdata/fuzz always runs as part of
+# `make test`).
+fuzz:
+	$(GO) test -fuzz='^FuzzParamSetReadFrom$$' -fuzztime=30s -run='^$$' ./internal/param/
+
 # Microbenchmarks of the round engine and the parameter pipeline,
 # emitted in benchstat-comparable form. Compare two trees with e.g.
 #
@@ -26,7 +32,7 @@ race:
 #	benchstat old.txt new.txt
 bench:
 	$(GO) test -run='^$$' -count=$(BENCH_COUNT) -benchmem \
-		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate' \
+		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate|BenchmarkWireRound' \
 		./internal/fed/ ./internal/gossip/ ./internal/param/
 
 # Full paper-table reproduction pass (one iteration per table).

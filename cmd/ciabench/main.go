@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/collablearn/ciarec/internal/experiments"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 type runner func(spec experiments.Spec) (string, error)
@@ -188,6 +189,7 @@ func main() {
 		paper  = flag.Bool("paper", false, "paper-scale datasets and rounds (slow, memory-hungry)")
 		seed   = flag.Uint64("seed", 1, "master seed")
 		rounds = flag.Int("rounds", 0, "override FL round count")
+		trans  = flag.String("transport", "", "round transport backend: "+strings.Join(transport.Names(), " | ")+" (default inproc)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -204,6 +206,11 @@ func main() {
 	if *rounds > 0 {
 		spec.Rounds = *rounds
 	}
+	if _, err := transport.New(*trans); err != nil {
+		fmt.Fprintf(os.Stderr, "ciabench: %v\n", err)
+		os.Exit(2)
+	}
+	spec.Transport = *trans
 
 	ids := experimentIDs()
 	if *exp != "all" {

@@ -12,6 +12,7 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // This file implements the ablations called out in DESIGN.md §6 plus
@@ -72,13 +73,19 @@ func RunSecureAggAblation(spec Spec) ([]SecureAggRow, error) {
 		}
 		rec := evalx.NewRecorder()
 		scratch := factory(0)
+		tr, err := transport.New(spec.Transport)
+		if err != nil {
+			return nil, err
+		}
 		sim, err := fed.New(fed.Config{
-			Dataset: d,
-			Factory: factory,
-			Policy:  policy,
-			Rounds:  spec.Rounds,
-			Train:   model.TrainOptions{Epochs: spec.LocalEpochs},
-			Seed:    spec.Seed,
+			Dataset:   d,
+			Factory:   factory,
+			Policy:    policy,
+			Rounds:    spec.Rounds,
+			Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+			Workers:   spec.Workers,
+			Transport: tr,
+			Seed:      spec.Seed,
 			OnRound: func(round int, s *fed.Simulation) {
 				// The adversary's whole view is the aggregate. Score
 				// every user's row of the global model against every
@@ -205,14 +212,20 @@ func RunFictiveAblation(spec Spec) ([]FictiveRow, error) {
 			zeroVector: zeroVector,
 			dim:        spec.Dim,
 		}
+		tr, err := transport.New(spec.Transport)
+		if err != nil {
+			return 0, err
+		}
 		sim, err := fed.New(fed.Config{
-			Dataset:  d,
-			Factory:  factory,
-			Policy:   defense.ShareLess{Tau: DefaultShareLessTau},
-			Rounds:   spec.Rounds,
-			Train:    model.TrainOptions{Epochs: spec.LocalEpochs},
-			Observer: obs,
-			Seed:     spec.Seed,
+			Dataset:   d,
+			Factory:   factory,
+			Policy:    defense.ShareLess{Tau: DefaultShareLessTau},
+			Rounds:    spec.Rounds,
+			Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+			Workers:   spec.Workers,
+			Transport: tr,
+			Observer:  obs,
+			Seed:      spec.Seed,
 		})
 		if err != nil {
 			return 0, err
@@ -316,13 +329,19 @@ func runFLCIAWithFactory(d *dataset.Dataset, factory model.Factory, spec Spec) (
 	ev := attack.NewRecommenderEval(factory(0), targets)
 	cia := attack.New(attack.Config{Beta: spec.Beta, K: k, NumUsers: d.NumUsers, Eval: ev})
 	rec := evalx.NewRecorder()
+	tr, err := transport.New(spec.Transport)
+	if err != nil {
+		return 0, err
+	}
 	sim, err := fed.New(fed.Config{
-		Dataset:  d,
-		Factory:  factory,
-		Rounds:   spec.Rounds,
-		Train:    model.TrainOptions{Epochs: spec.LocalEpochs},
-		Observer: &simpleFLObserver{cia: cia, truths: truths, rec: rec},
-		Seed:     spec.Seed,
+		Dataset:   d,
+		Factory:   factory,
+		Rounds:    spec.Rounds,
+		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers:   spec.Workers,
+		Transport: tr,
+		Observer:  &simpleFLObserver{cia: cia, truths: truths, rec: rec},
+		Seed:      spec.Seed,
 	})
 	if err != nil {
 		return 0, err

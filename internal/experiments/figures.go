@@ -14,6 +14,7 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // TradeoffPoint is one bar group of Figures 3 and 4: a protocol ×
@@ -209,14 +210,20 @@ func RunTargetedFL(d *dataset.Dataset, family string, spec Spec, target []int, k
 		Beta: spec.Beta, K: k, NumUsers: d.NumUsers, Eval: ev,
 	})
 	obs := &targetedObserver{cia: cia, ev: ev, rng: mathx.NewRand(spec.Seed ^ 0x7a9), shareLess: shareLess}
+	tr, err := transport.New(spec.Transport)
+	if err != nil {
+		return nil, err
+	}
 	sim, err := fed.New(fed.Config{
-		Dataset:  d,
-		Factory:  factory,
-		Policy:   policy,
-		Rounds:   spec.Rounds,
-		Train:    model.TrainOptions{Epochs: spec.LocalEpochs},
-		Observer: obs,
-		Seed:     spec.Seed,
+		Dataset:   d,
+		Factory:   factory,
+		Policy:    policy,
+		Rounds:    spec.Rounds,
+		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers:   spec.Workers,
+		Transport: tr,
+		Observer:  obs,
+		Seed:      spec.Seed,
 	})
 	if err != nil {
 		return nil, err

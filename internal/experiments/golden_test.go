@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/fed"
+	"github.com/collablearn/ciarec/internal/gossip"
+	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/transport"
+)
+
+// updateGolden regenerates testdata/golden.json:
+//
+//	go test ./internal/experiments/ -run TestGoldenDeterminism -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden determinism hashes")
+
+const goldenPath = "testdata/golden.json"
+
+// hashRun folds final model parameters (through the wire codec, so
+// the digest covers exactly the bytes a deployment would persist) and
+// the per-round utility curve into one digest.
+func hashRun(params []*param.Set, utility []float64) string {
+	h := sha256.New()
+	for _, p := range params {
+		if _, err := p.WriteTo(h); err != nil {
+			panic(err)
+		}
+	}
+	var buf [8]byte
+	for _, v := range utility {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// goldenFedRun executes the reference federated workload on the given
+// transport backend and digests it.
+func goldenFedRun(t *testing.T, backend string) string {
+	t.Helper()
+	spec := BenchSpec()
+	spec.Workers = 2
+	d, err := MakeDataset("movielens", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("gmf", d)
+	tr, err := transport.New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr []float64
+	sim, err := fed.New(fed.Config{
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(d.NumUsers, d.NumItems, spec.Dim),
+		Rounds:    4,
+		Train:     model.TrainOptions{Epochs: 1},
+		Workers:   spec.Workers,
+		Transport: tr,
+		OnRound: func(round int, s *fed.Simulation) {
+			hr = append(hr, s.UtilityHR(spec.HRK, 20))
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	return hashRun([]*param.Set{sim.Global().Params()}, hr)
+}
+
+// goldenGossipRun executes the reference gossip workload on the given
+// transport backend and digests every node's model plus the F1 curve.
+func goldenGossipRun(t *testing.T, backend string) string {
+	t.Helper()
+	spec := BenchSpec()
+	spec.Workers = 2
+	d, err := MakeDataset("gowalla", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("prme", d)
+	tr, err := transport.New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1 []float64
+	sim, err := gossip.New(gossip.Config{
+		Dataset:   d,
+		Factory:   model.NewPRMEFactory(d.NumUsers, d.NumItems, spec.Dim),
+		Rounds:    5,
+		Train:     model.TrainOptions{Epochs: 1},
+		Workers:   spec.Workers,
+		Transport: tr,
+		OnRound: func(round int, s *gossip.Simulation) {
+			f1 = append(f1, s.UtilityF1(spec.HRK))
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	params := make([]*param.Set, d.NumUsers)
+	for u := 0; u < d.NumUsers; u++ {
+		params[u] = sim.Node(u).Params()
+	}
+	return hashRun(params, f1)
+}
+
+// TestGoldenDeterminism pins the end-to-end numerical behaviour of the
+// round engines: a small fed and gossip run, hashed over final model
+// parameters plus the per-round utility curve, must reproduce the
+// checked-in digests exactly. A refactor that silently changes results
+// — RNG stream reordering, aggregation-order drift, codec corruption —
+// fails here loudly instead of shifting every experiment table a
+// little. After an *intentional* behaviour change, regenerate with
+//
+//	go test ./internal/experiments/ -run TestGoldenDeterminism -update
+//
+// and justify the new hashes in the commit. The digests are recorded
+// on amd64; other architectures may fuse multiply-adds differently, so
+// the comparison is gated to amd64 (where CI runs).
+func TestGoldenDeterminism(t *testing.T) {
+	hashes := map[string]string{}
+	for _, backend := range []string{"inproc", "wire"} {
+		hashes["fed-gmf/"+backend] = goldenFedRun(t, backend)
+		hashes["gossip-prme/"+backend] = goldenGossipRun(t, backend)
+	}
+	// The transport backends must agree with each other regardless of
+	// what the golden file says (this half runs on every architecture).
+	for _, workload := range []string{"fed-gmf", "gossip-prme"} {
+		if hashes[workload+"/inproc"] != hashes[workload+"/wire"] {
+			t.Fatalf("%s: wire and inproc hashes differ", workload)
+		}
+	}
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(hashes, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden hashes are recorded on amd64; GOARCH=%s may round differently", runtime.GOARCH)
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if hashes[k] == "" {
+			t.Errorf("golden file has %s but the test no longer produces it (regenerate with -update)", k)
+			continue
+		}
+		if hashes[k] != want[k] {
+			t.Errorf("%s: hash %s != golden %s — results changed; if intentional, rerun with -update",
+				k, hashes[k], want[k])
+		}
+	}
+	if len(hashes) != len(want) {
+		t.Errorf("produced %d hashes, golden file has %d (regenerate with -update)", len(hashes), len(want))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // UtilityKind selects the recommendation-quality metric recorded per
@@ -108,6 +109,10 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		rng:           mathx.NewRand(o.Spec.Seed ^ 0x51ce),
 		fictiveEpochs: o.FictiveEpochs,
 	}
+	tr, err := transport.New(o.Spec.Transport)
+	if err != nil {
+		return RunResult{}, err
+	}
 	var utility []float64
 	sim, err := fed.New(fed.Config{
 		Dataset:        o.Data,
@@ -118,6 +123,7 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		DropoutProb:    o.DropoutProb,
 		Train:          model.TrainOptions{Epochs: o.Spec.LocalEpochs},
 		Workers:        o.Spec.Workers,
+		Transport:      tr,
 		Observer:       obs,
 		// Utility sweeps run on the simulator's deterministic parallel
 		// evaluation engine (Spec.Workers, per-(seed, round, user)
@@ -272,6 +278,10 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 	if glRounds == 0 {
 		glRounds = o.Spec.Rounds
 	}
+	tr, err := transport.New(o.Spec.Transport)
+	if err != nil {
+		return RunResult{}, err
+	}
 	var utility []float64
 	sim, err := gossip.New(gossip.Config{
 		Dataset:     o.Data,
@@ -283,6 +293,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		StaticGraph: o.StaticGraph,
 		Train:       model.TrainOptions{Epochs: o.Spec.LocalEpochs},
 		Workers:     o.Spec.Workers,
+		Transport:   tr,
 		Observer:    obs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {

@@ -9,6 +9,7 @@ import (
 	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // RunUniversality reproduces §VIII-E: CIA against an MLP
@@ -81,10 +82,16 @@ func RunAIAComparison(spec Spec) (AIAComparison, error) {
 	truth := evalx.TrueCommunity(d, target, k)
 
 	// Warm-up federation to give the AIA a meaningful global model.
+	warmTr, err := transport.New(spec.Transport)
+	if err != nil {
+		return AIAComparison{}, err
+	}
 	warm, err := fed.New(fed.Config{
 		Dataset: d, Factory: factory, Rounds: spec.Rounds / 2,
-		Train: model.TrainOptions{Epochs: spec.LocalEpochs},
-		Seed:  spec.Seed,
+		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers:   spec.Workers,
+		Transport: warmTr,
+		Seed:      spec.Seed,
 	})
 	if err != nil {
 		return AIAComparison{}, err
@@ -106,11 +113,17 @@ func RunAIAComparison(spec Spec) (AIAComparison, error) {
 	// Continue the federation with both attacks observing. A fresh
 	// simulation seeded from the warm global keeps the harness simple:
 	// install the warm parameters into the new run's global model.
+	tr, err := transport.New(spec.Transport)
+	if err != nil {
+		return AIAComparison{}, err
+	}
 	sim, err := fed.New(fed.Config{
 		Dataset: d, Factory: factory, Rounds: spec.Rounds / 2,
-		Train:    model.TrainOptions{Epochs: spec.LocalEpochs},
-		Observer: obs,
-		Seed:     spec.Seed ^ 0x5ec,
+		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers:   spec.Workers,
+		Transport: tr,
+		Observer:  obs,
+		Seed:      spec.Seed ^ 0x5ec,
 	})
 	if err != nil {
 		return AIAComparison{}, err

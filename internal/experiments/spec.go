@@ -62,6 +62,12 @@ type Spec struct {
 	// simulators default to runtime.NumCPU(). Results are independent
 	// of the value (see fed.Config.Workers / gossip.Config.Workers).
 	Workers int
+	// Transport selects the round-transport backend threaded into the
+	// protocol simulators: "" or "inproc" (pointer passing), "wire"
+	// (every parameter transfer round-trips the binary codec), or
+	// "wire-chunked" (wire plus fixed-size frame reassembly). Results
+	// are byte-identical across backends (see internal/transport).
+	Transport string
 	// Seed drives all generation and training.
 	Seed uint64
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // AttackRow is one table line of attack metrics.
@@ -346,13 +347,19 @@ func RunTable8(spec Spec) (Table8Result, error) {
 		truths: truths, rec: rec,
 		plainRecs: newRecs(), guardedRecs: newRecs(),
 	}
+	tr, err := transport.New(spec.Transport)
+	if err != nil {
+		return Table8Result{}, err
+	}
 	sim, err := fed.New(fed.Config{
-		Dataset:  d,
-		Factory:  factory,
-		Rounds:   spec.Rounds,
-		Train:    model.TrainOptions{Epochs: spec.LocalEpochs},
-		Observer: obs,
-		Seed:     spec.Seed,
+		Dataset:   d,
+		Factory:   factory,
+		Rounds:    spec.Rounds,
+		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
+		Workers:   spec.Workers,
+		Transport: tr,
+		Observer:  obs,
+		Seed:      spec.Seed,
 	})
 	if err != nil {
 		return Table8Result{}, err

@@ -6,11 +6,18 @@ import (
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // benchSim builds a bench-scale federation (the Table II MovieLens
-// sizing) with the given worker count.
+// sizing) with the given worker count on the default (inproc)
+// transport.
 func benchSim(b *testing.B, workers int) *Simulation {
+	return benchSimOn(b, workers, nil)
+}
+
+// benchSimOn is benchSim on an explicit transport backend.
+func benchSimOn(b *testing.B, workers int, tr transport.Transport) *Simulation {
 	b.Helper()
 	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
 		Name: "bench", NumUsers: 140, NumItems: 260,
@@ -22,17 +29,44 @@ func benchSim(b *testing.B, workers int) *Simulation {
 	}
 	d.SplitLeaveOneOut(3)
 	s, err := New(Config{
-		Dataset: d,
-		Factory: model.NewGMFFactory(d.NumUsers, d.NumItems, 8),
-		Rounds:  1 << 30, // benchmarks drive RunRound directly
-		Train:   model.TrainOptions{Epochs: 2},
-		Workers: workers,
-		Seed:    1,
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(d.NumUsers, d.NumItems, 8),
+		Rounds:    1 << 30, // benchmarks drive RunRound directly
+		Train:     model.TrainOptions{Epochs: 2},
+		Workers:   workers,
+		Transport: tr,
+		Seed:      1,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return s
+}
+
+// BenchmarkWireRound prices the wire transport against the in-memory
+// baseline: one full FedAvg round where every download and upload
+// round-trips the binary codec through pooled buffers (140 clients ×
+// ~26 KB models each way per round). The wire/inproc gap is the
+// serialization tax a multi-process deployment would pay on top of
+// training — see PERFORMANCE.md for recorded numbers.
+func BenchmarkWireRound(b *testing.B) {
+	for _, backend := range []string{"inproc", "wire", "wire-chunked"} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", backend, workers), func(b *testing.B) {
+				tr, err := transport.New(backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := benchSimOn(b, workers, tr)
+				s.RunRound() // warm scratch models and both pools
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.RunRound()
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkFedRound measures one full FedAvg round (140 clients × 2

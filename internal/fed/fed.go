@@ -25,6 +25,7 @@ import (
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/parx"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // Message is one client upload as seen by the server (and therefore by
@@ -83,6 +84,16 @@ type Config struct {
 	// (seed, round, user).
 	Workers int
 
+	// Transport carries all parameter traffic: the global-model
+	// broadcast each sampled client downloads and the upload it sends
+	// back. nil defaults to a fresh transport.Inproc (pointer passing).
+	// Pass transport.NewWire() to round-trip every transfer through the
+	// binary wire codec — results are byte-identical either way (the
+	// cross-backend equivalence suite enforces it). Instances accumulate
+	// per-simulation traffic stats, so do not share one across
+	// simulations.
+	Transport transport.Transport
+
 	// Observer optionally receives all uploads (the adversary hook).
 	Observer Observer
 	// OnRound is called after every round with the live simulation,
@@ -123,9 +134,9 @@ type clientState struct {
 	lastReceived *param.Set
 }
 
-// Traffic accumulates protocol communication statistics (client →
-// server uploads; the broadcast of the global model is counted once
-// per sampled client as the same wire size).
+// Traffic is the client → server upload accounting, mirrored from the
+// transport's point-to-point counters. The global-model broadcast is
+// accounted separately: see TransportStats.
 type Traffic struct {
 	Messages int
 	Bytes    int64
@@ -140,7 +151,7 @@ type Simulation struct {
 	clients []clientState
 	rng     *rand.Rand
 	round   int
-	traffic Traffic
+	tr      transport.Transport
 
 	privateEntries []string
 	privateSet     map[string]struct{}
@@ -166,8 +177,16 @@ type Simulation struct {
 	evalPrev []int
 }
 
-// Traffic returns the accumulated upload statistics.
-func (s *Simulation) Traffic() Traffic { return s.traffic }
+// Traffic returns the accumulated upload statistics (the transport's
+// point-to-point counters).
+func (s *Simulation) Traffic() Traffic {
+	st := s.tr.Stats()
+	return Traffic{Messages: int(st.Messages), Bytes: st.Bytes}
+}
+
+// TransportStats returns the transport's full traffic accounting,
+// including the per-client global-model broadcast deliveries.
+func (s *Simulation) TransportStats() transport.Stats { return s.tr.Stats() }
 
 // New builds a federated simulation from cfg.
 func New(cfg Config) (*Simulation, error) {
@@ -179,6 +198,9 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if cfg.ClientFraction == 0 {
 		cfg.ClientFraction = 1
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewInproc()
 	}
 	rng := mathx.NewRand(cfg.Seed)
 	global := cfg.Factory(rng.Uint64())
@@ -196,6 +218,7 @@ func New(cfg Config) (*Simulation, error) {
 		scratch:        global.Clone(),
 		clients:        make([]clientState, cfg.Dataset.NumUsers),
 		rng:            rng,
+		tr:             cfg.Transport,
 		privateEntries: global.PrivateEntries(),
 		workers:        parx.Workers(cfg.Workers),
 	}
@@ -269,33 +292,44 @@ func (s *Simulation) RunRound() {
 	}
 
 	// Local training, fanned out over the worker pool. Each worker owns
-	// a scratch model; each client owns its RNG and private rows.
+	// a scratch model; each client owns its RNG and private rows. All
+	// parameter traffic — the global-model download and the upload back
+	// — rides the transport: the broadcast is encoded once here, each
+	// client decodes/installs it and sends its payload inside the
+	// parallel region (transport stats are atomic sums, so totals do not
+	// depend on worker interleaving), and the order-sensitive effects
+	// (observation, aggregation) are applied afterwards, indexed by
+	// sample position.
 	s.payloads = s.payloads[:0]
 	for range sampled {
 		s.payloads = append(s.payloads, nil)
 	}
+	bcast := s.tr.OpenBroadcast(s.global.Params())
 	parx.ForEach(s.workers, len(sampled), func(w, i int) {
-		s.payloads[i] = s.clientRound(round, sampled[i], s.scratches[w])
+		payload := s.clientRound(round, sampled[i], s.scratches[w], bcast)
+		if s.dropped[i] {
+			// Failure injection: the client crashed before uploading.
+			// Its local training (and private state) already happened.
+			s.pool.Put(payload)
+			return
+		}
+		s.payloads[i] = s.tr.Send(payload, &s.pool)
 	})
+	bcast.Close()
 
 	// Sequential phase: observe and aggregate in client-index order.
 	uploads := s.uploads[:0]
 	for i, u := range sampled {
 		payload := s.payloads[i]
 		s.payloads[i] = nil
-		if s.dropped[i] {
-			// Failure injection: the client crashed before uploading.
-			// Its local training (and private state) already happened.
-			s.pool.Put(payload)
-			continue
+		if payload == nil {
+			continue // dropped before upload
 		}
 		uploads = append(uploads, upload{
 			from:    u,
 			payload: payload,
 			weight:  float64(len(s.cfg.Dataset.Train[u])),
 		})
-		s.traffic.Messages++
-		s.traffic.Bytes += int64(payload.WireBytes())
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.OnUpload(Message{Round: round, From: u, Params: payload})
 		}
@@ -331,14 +365,14 @@ func (s *Simulation) sampleClients(n int) []int {
 }
 
 // clientRound simulates client u's round on the given scratch model:
-// install the global model (plus persistent private rows), train
-// locally, build the outgoing payload via the policy. It touches only
-// client u's state, the (read-only) global parameters and the
-// concurrency-safe payload pool, so distinct clients may run
-// concurrently on distinct scratch models.
-func (s *Simulation) clientRound(round, u int, m model.Recommender) *param.Set {
+// install the broadcast global model (plus persistent private rows),
+// train locally, build the outgoing payload via the policy. It touches
+// only client u's state, the concurrency-safe payload pool and the
+// (concurrency-safe, read-only) broadcast handle, so distinct clients
+// may run concurrently on distinct scratch models.
+func (s *Simulation) clientRound(round, u int, m model.Recommender, bcast transport.Broadcast) *param.Set {
 	st := &s.clients[u]
-	m.Params().CopyFrom(s.global.Params())
+	bcast.Deliver(m.Params())
 	s.installPrivateRows(m, u)
 	st.lastReceived = m.Params().CloneInto(st.lastReceived)
 

@@ -1,0 +1,97 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Property: sampleClients honours ClientFraction exactly — the sample
+// has max(1, ⌊fraction·n⌋) clients under partial participation and all
+// n in ascending order under full participation — and every draw is
+// distinct and in range, across many consecutive rounds of RNG state.
+func TestSampleClientsProperties(t *testing.T) {
+	d := fedTestDataset(t)
+	n := d.NumUsers
+	for _, frac := range []float64{0.03, 0.1, 0.34, 0.5, 0.9, 1} {
+		t.Run(fmt.Sprintf("fraction=%v", frac), func(t *testing.T) {
+			cfg := fedConfig(d)
+			cfg.ClientFraction = frac
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantK := int(frac * float64(n))
+			if wantK < 1 {
+				wantK = 1
+			}
+			if frac >= 1 {
+				wantK = n
+			}
+			everSampled := make([]bool, n)
+			for trial := 0; trial < 300; trial++ {
+				sampled := s.sampleClients(n)
+				if len(sampled) != wantK {
+					t.Fatalf("trial %d: sampled %d clients, want %d", trial, len(sampled), wantK)
+				}
+				seen := make(map[int]struct{}, len(sampled))
+				for i, u := range sampled {
+					if u < 0 || u >= n {
+						t.Fatalf("trial %d: client %d out of range [0,%d)", trial, u, n)
+					}
+					if _, dup := seen[u]; dup {
+						t.Fatalf("trial %d: client %d sampled twice", trial, u)
+					}
+					seen[u] = struct{}{}
+					everSampled[u] = true
+					if frac >= 1 && u != i {
+						t.Fatalf("full participation must sample in ascending order, got %v", sampled[:i+1])
+					}
+				}
+			}
+			// Ergodicity: over 300 rounds every client should have been
+			// sampled at least once (P(miss) < (1-1/n)^300k, astronomically
+			// small for the test sizes).
+			for u, ok := range everSampled {
+				if !ok {
+					t.Fatalf("client %d never sampled across 300 rounds", u)
+				}
+			}
+		})
+	}
+}
+
+// Property: dropout never forges uploads — every upload comes from a
+// sampled client, at most one per client per round, and the realized
+// dropout rate concentrates near DropoutProb.
+func TestDropoutUploadProperties(t *testing.T) {
+	d := fedTestDataset(t)
+	cfg := fedConfig(d)
+	cfg.Rounds = 40
+	cfg.DropoutProb = 0.3
+	perRound := make(map[int]int)
+	var uploads, slots int
+	cfg.Observer = observerFunc(func(msg Message) {
+		if msg.From < 0 || msg.From >= d.NumUsers {
+			panic("upload from out-of-range client")
+		}
+		perRound[msg.From]++
+		if perRound[msg.From] > 1 {
+			panic("client uploaded twice in one round")
+		}
+		uploads++
+	})
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		clear(perRound)
+		s.RunRound()
+		slots += d.NumUsers
+	}
+	rate := 1 - float64(uploads)/float64(slots)
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("realized dropout rate %.3f too far from configured 0.3 (%d/%d uploads)",
+			rate, uploads, slots)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/parx"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // Variant selects the peer-sampling behaviour.
@@ -106,6 +107,14 @@ type Config struct {
 	// Train is the local-training option template; Rand is ignored.
 	Train model.TrainOptions
 
+	// Transport carries the node→neighbour model pushes. nil defaults
+	// to a fresh transport.Inproc (pointer passing); transport.NewWire()
+	// round-trips every push through the binary wire codec with
+	// byte-identical results (enforced by the cross-backend equivalence
+	// suite). Instances accumulate per-simulation traffic stats, so do
+	// not share one across simulations.
+	Transport transport.Transport
+
 	// Workers bounds the number of goroutines running per-node work
 	// (view refresh, payload construction, inbox aggregation, local
 	// training) and the UtilityHR/UtilityF1 sweeps concurrently. 0
@@ -164,7 +173,8 @@ type node struct {
 	probe []int
 }
 
-// Traffic accumulates delivered-message statistics.
+// Traffic is the delivered-message accounting, mirrored from the
+// transport's point-to-point counters.
 type Traffic struct {
 	Messages int
 	Bytes    int64
@@ -173,12 +183,12 @@ type Traffic struct {
 // Simulation is a running gossip system. Create with New, then call
 // Run (or RunRound repeatedly).
 type Simulation struct {
-	cfg     Config
-	nodes   []node
-	rng     *rand.Rand
-	eval    *model.Eval
-	round   int
-	traffic Traffic
+	cfg   Config
+	nodes []node
+	rng   *rand.Rand
+	eval  *model.Eval
+	round int
+	tr    transport.Transport
 
 	workers int
 	pool    param.Buffers // payload free-list
@@ -192,8 +202,15 @@ type push struct {
 	payload *param.Set
 }
 
-// Traffic returns the accumulated delivered-message statistics.
-func (s *Simulation) Traffic() Traffic { return s.traffic }
+// Traffic returns the accumulated delivered-message statistics (the
+// transport's point-to-point counters).
+func (s *Simulation) Traffic() Traffic {
+	st := s.tr.Stats()
+	return Traffic{Messages: int(st.Messages), Bytes: st.Bytes}
+}
+
+// TransportStats returns the transport's full traffic accounting.
+func (s *Simulation) TransportStats() transport.Stats { return s.tr.Stats() }
 
 // New builds a gossip simulation from cfg. Defaults are applied before
 // validation so that e.g. a 3-node network is rejected (the default
@@ -218,6 +235,9 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.WakeProb == 0 {
 		cfg.WakeProb = 1
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewInproc()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -227,6 +247,7 @@ func New(cfg Config) (*Simulation, error) {
 		cfg:     cfg,
 		nodes:   make([]node, n),
 		rng:     rng,
+		tr:      cfg.Transport,
 		workers: parx.Workers(cfg.Workers),
 		pushes:  make([]push, n),
 	}
@@ -296,9 +317,12 @@ func (s *Simulation) RunRound() {
 		}
 	}
 
-	// Phase 1a: awake nodes build their outgoing payload (parallel;
-	// wake, peer choice, policy noise and loss draws all come from the
-	// sender's own RNG, in the same order as a serial round).
+	// Phase 1a: awake nodes build their outgoing payload and put it on
+	// the transport (parallel; wake, peer choice, policy noise and loss
+	// draws all come from the sender's own RNG, in the same order as a
+	// serial round; transport stats are atomic sums, independent of
+	// worker interleaving). Lost messages never reach the transport —
+	// loss is the simulator's failure injection, not the wire's.
 	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
 		nd := &s.nodes[u]
 		s.pushes[u] = push{to: -1}
@@ -311,7 +335,7 @@ func (s *Simulation) RunRound() {
 			s.pool.Put(payload)
 			return // failure injection: message lost in transit
 		}
-		s.pushes[u] = push{to: to, payload: payload}
+		s.pushes[u] = push{to: to, payload: s.tr.Send(payload, &s.pool)}
 	})
 
 	// Phase 1b: deliver in sender order (sequential — inbox append
@@ -324,8 +348,6 @@ func (s *Simulation) RunRound() {
 		s.pushes[u] = push{to: -1}
 		msg := Message{Round: round, From: u, To: p.to, Params: p.payload}
 		s.nodes[p.to].inbox = append(s.nodes[p.to].inbox, msg)
-		s.traffic.Messages++
-		s.traffic.Bytes += int64(p.payload.WireBytes())
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.OnReceive(msg)
 		}
@@ -519,10 +541,3 @@ func (s *Simulation) UtilityF1(k int) float64 {
 // nodeModel is the eval engine's pick function: node u evaluates with
 // its own model.
 func (s *Simulation) nodeModel(_, u int) model.Recommender { return s.nodes[u].m }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,114 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkView asserts the structural invariants every peer-sampling view
+// must satisfy: exactly p peers, never the owner, no duplicates, all
+// in range.
+func checkView(t *testing.T, owner int, view []int, n, p int, ctx string) {
+	t.Helper()
+	if len(view) != p {
+		t.Fatalf("%s: node %d view has %d peers, want %d", ctx, owner, len(view), p)
+	}
+	seen := make(map[int]struct{}, len(view))
+	for _, v := range view {
+		if v < 0 || v >= n {
+			t.Fatalf("%s: node %d view contains out-of-range peer %d", ctx, owner, v)
+		}
+		if v == owner {
+			t.Fatalf("%s: node %d view contains itself", ctx, owner)
+		}
+		if _, dup := seen[v]; dup {
+			t.Fatalf("%s: node %d view contains duplicate peer %d (view %v)", ctx, owner, v, view)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+// Property: randView and persView always produce P-out-regular views
+// that exclude the owner and contain no duplicates, across hundreds of
+// direct refreshes at several out-degrees.
+func TestViewRefreshProperties(t *testing.T) {
+	d := gossipTestDataset(t)
+	for _, variant := range []Variant{RandGossip, PersGossip} {
+		for _, p := range []int{1, 3, 7} {
+			t.Run(fmt.Sprintf("%s/P=%d", variant, p), func(t *testing.T) {
+				cfg := gossipConfig(d)
+				cfg.Variant = variant
+				cfg.OutDegree = p
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := d.NumUsers
+				for trial := 0; trial < 50; trial++ {
+					for u := range s.nodes {
+						s.refreshView(u)
+						checkView(t, u, s.nodes[u].view, n, p, fmt.Sprintf("refresh %d", trial))
+					}
+				}
+			})
+		}
+	}
+}
+
+// Property: the invariants hold across full protocol rounds too, where
+// refreshes interleave with training (Pers-Gossip scoring then ranks
+// live, drifting models) and the Exp(rate) refresh schedule fires at
+// node-specific times. A high refresh rate makes nearly every node
+// refresh every round.
+func TestViewInvariantsAcrossRounds(t *testing.T) {
+	d := gossipTestDataset(t)
+	for _, variant := range []Variant{RandGossip, PersGossip} {
+		t.Run(variant.String(), func(t *testing.T) {
+			cfg := gossipConfig(d)
+			cfg.Variant = variant
+			cfg.Rounds = 12
+			cfg.ViewRefreshRate = 1 // mean refresh interval: 1 round
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < cfg.Rounds; r++ {
+				s.RunRound()
+				for u := range s.nodes {
+					// s.cfg, not cfg: New applies the default OutDegree (3).
+					checkView(t, u, s.nodes[u].view, d.NumUsers, s.cfg.OutDegree, fmt.Sprintf("round %d", r))
+				}
+			}
+		})
+	}
+}
+
+// Property: Pers-Gossip view refreshing is insensitive to candidate
+// iteration order — repeated refreshes from identical RNG state pick
+// identical views (the candidate pool is a map; its order must not
+// leak into selection).
+func TestPersViewDeterministicGivenState(t *testing.T) {
+	d := gossipTestDataset(t)
+	cfg := gossipConfig(d)
+	cfg.Variant = PersGossip
+	build := func() [][]int {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views := make([][]int, d.NumUsers)
+		for u := range s.nodes {
+			s.refreshView(u)
+			views[u] = append([]int(nil), s.nodes[u].view...)
+		}
+		return views
+	}
+	a, b := build(), build()
+	for u := range a {
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				t.Fatalf("node %d view differs across identical builds: %v vs %v", u, a[u], b[u])
+			}
+		}
+	}
+}

@@ -81,6 +81,21 @@ func (b *Buffers) Clone(src *Set) *Set {
 	return src.Clone()
 }
 
+// GetShaped returns a recycled set with the same structure as like
+// without copying any values (the contents are whatever the previous
+// user left), or nil when the free-list has nothing of that shape. The
+// wire transport decodes received bytes into it, so initializing the
+// values here would be wasted work.
+func (b *Buffers) GetShaped(like *Set) *Set {
+	if b == nil {
+		return nil
+	}
+	if got, ok := b.pool(like.signature()).Get().(*Set); ok && got != nil {
+		return got
+	}
+	return nil
+}
+
 // CloneWithout returns a deep copy of src excluding the named entries
 // (the Share-less payload filter), reusing recycled storage of the
 // filtered structure when available.

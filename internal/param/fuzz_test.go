@@ -1,0 +1,201 @@
+package param
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// fuzzSeeds returns the hand-picked seed inputs mirrored in
+// testdata/fuzz/FuzzParamSetReadFrom (go's fuzzer merges both).
+func fuzzSeeds() [][]byte {
+	var valid bytes.Buffer
+	s := New()
+	s.Add("user_emb", 3, 4, []float64{1.5, -2, 0, 4.25, 1e-9, 6e12, -0.5, 2, 3, 4, 5, 6})
+	s.AddVector("bias", []float64{0.25, -0.75})
+	if _, err := s.WriteTo(&valid); err != nil {
+		panic(err)
+	}
+	var empty bytes.Buffer
+	if _, err := New().WriteTo(&empty); err != nil {
+		panic(err)
+	}
+	return [][]byte{
+		valid.Bytes(),
+		empty.Bytes(),
+		valid.Bytes()[:len(valid.Bytes())/2],           // truncated mid-data
+		[]byte("XXXX\x00\x00\x00\x00"),                 // bad magic
+		[]byte("CPS1\xff\xff\xff\xff"),                 // implausible entry count
+		[]byte("CPS1\x01\x00\x00\x00\xff\xff\x00\x00"), // name length too long
+		// One entry claiming a huge 2^16 × 2^15 shape with no data: the
+		// incremental-allocation guard must fail this cheaply.
+		[]byte("CPS1\x01\x00\x00\x00\x01\x00\x00\x00m\x00\x00\x01\x00\x00\x80\x00\x00"),
+	}
+}
+
+// FuzzParamSetReadFrom fuzzes the wire codec's untrusted entry point:
+//
+//   - any input either parses or fails with an error — never a panic;
+//   - a successful parse is canonical: re-encoding the parsed set
+//     reproduces exactly the consumed prefix of the input
+//     (WriteTo ∘ ReadFrom = identity on the wire), and the transport's
+//     in-place DecodeFrom agrees with ReadFrom on it;
+//   - the reported byte count never exceeds the input length.
+func FuzzParamSetReadFrom(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		n, err := s.ReadFrom(bytes.NewReader(data))
+		if n > int64(len(data)) {
+			t.Fatalf("ReadFrom reported %d bytes from a %d-byte input", n, len(data))
+		}
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if _, err := s.WriteTo(&re); err != nil {
+			t.Fatalf("re-encode of parsed set failed: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:n]) {
+			t.Fatalf("re-encode is not byte-identical to the parsed prefix (%d vs %d bytes)", re.Len(), n)
+		}
+		// The in-place decode path must accept everything ReadFrom
+		// accepts and produce the same values.
+		dst := s.Clone()
+		dst.Scale(0) // scrub so agreement is not vacuous
+		dn, err := dst.DecodeFrom(bytes.NewReader(data[:n]))
+		if err != nil {
+			t.Fatalf("DecodeFrom rejected a ReadFrom-accepted stream: %v", err)
+		}
+		if dn != n {
+			t.Fatalf("DecodeFrom consumed %d bytes, ReadFrom %d", dn, n)
+		}
+		if !Equal(s, dst, 0) {
+			t.Fatal("DecodeFrom and ReadFrom disagree on values")
+		}
+	})
+}
+
+// A header lying about its entry size must fail after allocating
+// storage proportional to the bytes that actually arrived, not to the
+// claimed size (a 2^31-element claim would otherwise allocate 16 GiB
+// before the first data byte is read).
+func TestReadFromHugeClaimDoesNotOverAllocate(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString("CPS1")
+	in.Write([]byte{1, 0, 0, 0})   // one entry
+	in.Write([]byte{1, 0, 0, 0})   // nameLen 1
+	in.WriteByte('m')              //
+	in.Write([]byte{0, 0, 1, 0})   // rows = 65536
+	in.Write([]byte{0, 128, 0, 0}) // cols = 32768 → 2^31 elements
+	in.Write(make([]byte, 4096))   // only 4 KiB of data ever arrives
+	data := in.Bytes()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	out := New()
+	_, err := out.ReadFrom(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated huge-claim input must fail")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Fatalf("ReadFrom allocated %d bytes for a %d-byte input", grew, len(data))
+	}
+}
+
+func TestReadFromRejectsDuplicateEntryNames(t *testing.T) {
+	var in bytes.Buffer
+	in.WriteString("CPS1")
+	in.Write([]byte{2, 0, 0, 0})
+	for i := 0; i < 2; i++ {
+		in.Write([]byte{1, 0, 0, 0}) // nameLen 1
+		in.WriteByte('d')            // same name twice
+		in.Write([]byte{1, 0, 0, 0}) // rows 1
+		in.Write([]byte{1, 0, 0, 0}) // cols 1
+		in.Write(make([]byte, 8))    // one float64
+	}
+	out := New()
+	if _, err := out.ReadFrom(bytes.NewReader(in.Bytes())); err == nil {
+		t.Fatal("duplicate entry names must be rejected, not panic Add")
+	}
+}
+
+func TestDecodeFromMatchingStructure(t *testing.T) {
+	src := newTestSet(1.5, -2, 0, 4.25, 1e-9, 6e12)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := src.Clone()
+	dst.Scale(0)
+	backing := dst.At(0).Data
+	n, err := dst.DecodeFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("consumed %d of %d bytes", n, buf.Len())
+	}
+	if !Equal(src, dst, 0) {
+		t.Fatal("decoded values differ")
+	}
+	if &backing[0] != &dst.At(0).Data[0] {
+		t.Fatal("DecodeFrom replaced backing storage instead of writing in place")
+	}
+}
+
+func TestDecodeFromStructureMismatch(t *testing.T) {
+	src := newTestSet(1, 2, 3, 4, 5, 6)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*Set{
+		"empty receiver": New(),
+		"extra entry": func() *Set {
+			s := src.Clone()
+			s.AddVector("extra", []float64{1})
+			return s
+		}(),
+		"renamed entry": func() *Set {
+			s := New()
+			for i := 0; i < src.Len(); i++ {
+				e := src.At(i)
+				s.Add(e.Name+"x", e.Rows, e.Cols, append([]float64(nil), e.Data...))
+			}
+			return s
+		}(),
+	}
+	for name, dst := range cases {
+		if _, err := dst.DecodeFrom(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: expected structural-mismatch error", name)
+		}
+	}
+}
+
+// DecodeFrom is the transport's receive path and must be value-
+// transparent: NaN payloads (a diverged simulation) pass through
+// rather than erroring, unlike the checkpoint-loading ReadFrom.
+func TestDecodeFromCarriesNaN(t *testing.T) {
+	src := New()
+	src.AddVector("v", []float64{1, 2})
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for i := len(b) - 8; i < len(b); i++ {
+		b[i] = 0xFF // corrupt the last float into a NaN
+	}
+	dst := src.Clone()
+	if _, err := dst.DecodeFrom(bytes.NewReader(b)); err != nil {
+		t.Fatalf("transport decode must carry NaN: %v", err)
+	}
+	if v := dst.Get("v")[1]; v == v {
+		t.Fatal("expected NaN to survive the decode")
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
-// Binary serialization for parameter sets: model checkpointing, and
-// the byte-accounting basis for the protocols' communication metrics.
+// Binary serialization for parameter sets: model checkpointing, the
+// byte-accounting basis for the protocols' communication metrics, and
+// the payload codec of the wire transport (internal/transport).
 //
 // Format (little-endian):
 //
@@ -17,110 +19,265 @@ import (
 //	entry: uint32 nameLen | name | uint32 rows | uint32 cols | float64s
 const serializeMagic = "CPS1"
 
-// WriteTo serializes the set. It implements io.WriterTo.
+// floatChunk is the streaming granularity (in float64s) of the codec:
+// entry data moves through a pooled fixed-size scratch buffer instead
+// of one allocation per entry, so (a) the steady-state wire transport
+// encodes and decodes without allocating, and (b) a malformed header
+// claiming a huge entry cannot force a large upfront allocation —
+// storage grows only as data actually arrives.
+const floatChunk = 1024
+
+// scratchPool recycles the codec's chunk buffers. WriteTo/ReadFrom/
+// DecodeFrom run concurrently on worker goroutines under the wire
+// transport, so the scratch cannot be package-level state.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 8*floatChunk)
+		return &b
+	},
+}
+
+// WriteTo serializes the set. It implements io.WriterTo. Writers that
+// are already buffered or in-memory (anything implementing
+// io.ByteWriter, e.g. *bytes.Buffer or *bufio.Writer) are written
+// directly; others are wrapped in a bufio.Writer first.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	type buffered interface {
+		io.Writer
+		io.ByteWriter
+	}
+	if bw, ok := w.(buffered); ok {
+		return s.encode(bw)
+	}
 	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(data any) error {
-		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
-			return err
-		}
-		n += int64(binary.Size(data))
-		return nil
-	}
-	if _, err := bw.WriteString(serializeMagic); err != nil {
+	n, err := s.encode(bw)
+	if err != nil {
 		return n, err
-	}
-	n += int64(len(serializeMagic))
-	if err := write(uint32(len(s.entries))); err != nil {
-		return n, err
-	}
-	for _, e := range s.entries {
-		if err := write(uint32(len(e.Name))); err != nil {
-			return n, err
-		}
-		if _, err := bw.WriteString(e.Name); err != nil {
-			return n, err
-		}
-		n += int64(len(e.Name))
-		if err := write(uint32(e.Rows)); err != nil {
-			return n, err
-		}
-		if err := write(uint32(e.Cols)); err != nil {
-			return n, err
-		}
-		if err := write(e.Data); err != nil {
-			return n, err
-		}
 	}
 	return n, bw.Flush()
 }
 
-// ReadFrom deserializes a set previously produced by WriteTo,
-// replacing the receiver's contents. It implements io.ReaderFrom.
-func (s *Set) ReadFrom(r io.Reader) (int64, error) {
-	br := bufio.NewReader(r)
+func (s *Set) encode(w io.Writer) (int64, error) {
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
+	scratch := *sp
 	var n int64
-	read := func(data any) error {
-		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		if _, err := w.Write(scratch[:4]); err != nil {
 			return err
 		}
-		n += int64(binary.Size(data))
+		n += 4
 		return nil
 	}
-	magic := make([]byte, len(serializeMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return n, fmt.Errorf("param: read magic: %w", err)
+	if _, err := io.WriteString(w, serializeMagic); err != nil {
+		return n, err
 	}
-	n += int64(len(magic))
-	if string(magic) != serializeMagic {
-		return n, fmt.Errorf("param: bad magic %q", magic)
+	n += int64(len(serializeMagic))
+	if err := writeU32(uint32(len(s.entries))); err != nil {
+		return n, err
+	}
+	for _, e := range s.entries {
+		if err := writeU32(uint32(len(e.Name))); err != nil {
+			return n, err
+		}
+		if _, err := io.WriteString(w, e.Name); err != nil {
+			return n, err
+		}
+		n += int64(len(e.Name))
+		if err := writeU32(uint32(e.Rows)); err != nil {
+			return n, err
+		}
+		if err := writeU32(uint32(e.Cols)); err != nil {
+			return n, err
+		}
+		for lo := 0; lo < len(e.Data); lo += floatChunk {
+			hi := min(lo+floatChunk, len(e.Data))
+			buf := scratch[:8*(hi-lo)]
+			for j, v := range e.Data[lo:hi] {
+				binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+			}
+			if _, err := w.Write(buf); err != nil {
+				return n, err
+			}
+			n += int64(len(buf))
+		}
+	}
+	return n, nil
+}
+
+// wireReader decodes the codec stream through the shared scratch
+// buffer, tracking the logical byte position both ReadFrom and
+// DecodeFrom report. It owns the prologue (magic + entry count) and
+// the entry-header field reads so the two decode paths cannot drift
+// apart on format changes.
+type wireReader struct {
+	r       io.Reader
+	scratch []byte
+	n       int64
+}
+
+func (d *wireReader) full(b []byte) error {
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return err
+	}
+	d.n += int64(len(b))
+	return nil
+}
+
+func (d *wireReader) u32(v *uint32) error {
+	if err := d.full(d.scratch[:4]); err != nil {
+		return err
+	}
+	*v = binary.LittleEndian.Uint32(d.scratch[:4])
+	return nil
+}
+
+// header consumes and validates the stream prologue, returning the
+// declared entry count.
+func (d *wireReader) header() (uint32, error) {
+	if err := d.full(d.scratch[:len(serializeMagic)]); err != nil {
+		return 0, fmt.Errorf("param: read magic: %w", err)
+	}
+	if string(d.scratch[:len(serializeMagic)]) != serializeMagic {
+		return 0, fmt.Errorf("param: bad magic %q", d.scratch[:len(serializeMagic)])
 	}
 	var count uint32
-	if err := read(&count); err != nil {
-		return n, fmt.Errorf("param: read entry count: %w", err)
+	if err := d.u32(&count); err != nil {
+		return 0, fmt.Errorf("param: read entry count: %w", err)
+	}
+	return count, nil
+}
+
+// entryHeader consumes one entry's name-length/name/rows/cols fields.
+// The returned name is a view into scratch (parked past the u32 field
+// window so the rows/cols reads cannot clobber it) and is only valid
+// until the next read.
+func (d *wireReader) entryHeader(i uint32) (name []byte, rows, cols uint32, err error) {
+	var nameLen uint32
+	if err = d.u32(&nameLen); err != nil {
+		return nil, 0, 0, fmt.Errorf("param: entry %d name length: %w", i, err)
+	}
+	if nameLen > 4096 {
+		return nil, 0, 0, fmt.Errorf("param: entry %d name too long (%d)", i, nameLen)
+	}
+	name = d.scratch[8 : 8+nameLen]
+	if err = d.full(name); err != nil {
+		return nil, 0, 0, fmt.Errorf("param: entry %d name: %w", i, err)
+	}
+	if err = d.u32(&rows); err != nil {
+		return nil, 0, 0, err
+	}
+	if err = d.u32(&cols); err != nil {
+		return nil, 0, 0, err
+	}
+	return name, rows, cols, nil
+}
+
+// ReadFrom deserializes a set previously produced by WriteTo,
+// replacing the receiver's contents. It implements io.ReaderFrom.
+//
+// ReadFrom is the untrusted-input entry point (checkpoint loading,
+// fuzzing): malformed streams — bad magic, truncation, implausible
+// shapes, duplicate entry names, NaN values — fail with an error, never
+// a panic, and entry storage grows incrementally with the bytes that
+// actually arrive, so a header lying about its size cannot trigger a
+// huge allocation.
+func (s *Set) ReadFrom(r io.Reader) (int64, error) {
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
+	d := wireReader{r: bufio.NewReader(r), scratch: *sp}
+	count, err := d.header()
+	if err != nil {
+		return d.n, err
 	}
 	if count > 1<<20 {
-		return n, fmt.Errorf("param: implausible entry count %d", count)
+		return d.n, fmt.Errorf("param: implausible entry count %d", count)
 	}
 	out := New()
 	for i := uint32(0); i < count; i++ {
-		var nameLen uint32
-		if err := read(&nameLen); err != nil {
-			return n, fmt.Errorf("param: entry %d name length: %w", i, err)
+		nameBytes, rows, cols, err := d.entryHeader(i)
+		if err != nil {
+			return d.n, err
 		}
-		if nameLen > 4096 {
-			return n, fmt.Errorf("param: entry %d name too long (%d)", i, nameLen)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return n, fmt.Errorf("param: entry %d name: %w", i, err)
-		}
-		n += int64(nameLen)
-		var rows, cols uint32
-		if err := read(&rows); err != nil {
-			return n, err
-		}
-		if err := read(&cols); err != nil {
-			return n, err
+		name := string(nameBytes)
+		if out.Has(name) {
+			return d.n, fmt.Errorf("param: duplicate entry %q", name)
 		}
 		size := uint64(rows) * uint64(cols)
 		if size > 1<<32 {
-			return n, fmt.Errorf("param: entry %q implausible size %d", name, size)
+			return d.n, fmt.Errorf("param: entry %q implausible size %d", name, size)
 		}
-		data := make([]float64, size)
-		if err := read(data); err != nil {
-			return n, fmt.Errorf("param: entry %q data: %w", name, err)
-		}
-		for _, v := range data {
-			if math.IsNaN(v) {
-				return n, fmt.Errorf("param: entry %q contains NaN", name)
+		data := make([]float64, 0, min(size, floatChunk))
+		for uint64(len(data)) < size {
+			c := int(min(size-uint64(len(data)), floatChunk))
+			buf := d.scratch[:8*c]
+			if err := d.full(buf); err != nil {
+				return d.n, fmt.Errorf("param: entry %q data: %w", name, err)
+			}
+			for j := 0; j < c; j++ {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+				if math.IsNaN(v) {
+					return d.n, fmt.Errorf("param: entry %q contains NaN", name)
+				}
+				data = append(data, v)
 			}
 		}
-		out.Add(string(name), int(rows), int(cols), data)
+		out.Add(name, int(rows), int(cols), data)
 	}
 	*s = *out
-	return n, nil
+	return d.n, nil
+}
+
+// DecodeFrom reads a stream produced by WriteTo into s's existing
+// entries, requiring the incoming structure (entry names, shapes,
+// registration order) to match s's exactly. Values are written
+// directly into s's backing storage — sets that alias live model
+// parameters are updated in place — which makes this the
+// allocation-free receive path of the wire transport
+// (internal/transport).
+//
+// On a structural mismatch or malformed input it returns an error; s's
+// values are then partially overwritten and unspecified. Unlike
+// ReadFrom, DecodeFrom does not reject NaN: the transport must be
+// value-transparent and deliver whatever the sender's simulation
+// produced — input validation belongs to the checkpoint-loading path.
+func (s *Set) DecodeFrom(r io.Reader) (int64, error) {
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
+	d := wireReader{r: r, scratch: *sp}
+	count, err := d.header()
+	if err != nil {
+		return d.n, err
+	}
+	if int(count) != len(s.entries) {
+		return d.n, fmt.Errorf("param: decode entry count %d != receiver's %d", count, len(s.entries))
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		name, rows, cols, err := d.entryHeader(uint32(i))
+		if err != nil {
+			return d.n, err
+		}
+		if string(name) != e.Name {
+			return d.n, fmt.Errorf("param: entry %d name %q != receiver's %q", i, name, e.Name)
+		}
+		if int(rows) != e.Rows || int(cols) != e.Cols {
+			return d.n, fmt.Errorf("param: entry %q shape %dx%d != receiver's %dx%d",
+				e.Name, rows, cols, e.Rows, e.Cols)
+		}
+		for lo := 0; lo < len(e.Data); lo += floatChunk {
+			hi := min(lo+floatChunk, len(e.Data))
+			buf := d.scratch[:8*(hi-lo)]
+			if err := d.full(buf); err != nil {
+				return d.n, fmt.Errorf("param: entry %q data: %w", e.Name, err)
+			}
+			for j := range hi - lo {
+				e.Data[lo+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+			}
+		}
+	}
+	return d.n, nil
 }
 
 // WireBytes returns the serialized size of the set without writing it:

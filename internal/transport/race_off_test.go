@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// raceEnabled gates assertions that are invalid under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package transport
+
+// raceEnabled gates assertions that are invalid under the race
+// detector (sync.Pool intentionally randomizes item reuse in race
+// builds, so allocation and pointer-identity checks on recycled
+// storage would flake).
+const raceEnabled = true

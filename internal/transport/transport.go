@@ -1,0 +1,137 @@
+// Package transport carries every inter-participant parameter transfer
+// of the protocol simulators: federated client→server uploads, the
+// server→client global-model broadcast, and gossip node→neighbour
+// pushes. It is the seam where the ROADMAP's multi-process / RPC round
+// engine plugs in — the simulators speak only to the Transport
+// interface, never to each other's memory.
+//
+// Two backends ship today:
+//
+//   - Inproc passes payload pointers through unchanged — the
+//     historical in-memory behaviour, byte-identical to the
+//     pre-transport simulators.
+//   - Wire round-trips every payload through the binary codec
+//     (param.Set WriteTo → pooled byte buffers → DecodeFrom),
+//     optionally reading across fixed-size chunk frames. It proves
+//     that a deployment which actually serializes its traffic computes
+//     exactly the same models: the cross-backend equivalence suites in
+//     internal/fed and internal/gossip hold it to tolerance 0.
+//
+// # Contract
+//
+// Ownership: Send consumes its payload — the caller must not touch it
+// afterwards. Inproc returns the same set; Wire recycles the payload
+// into the caller's param.Buffers pool and returns a decoded copy
+// drawn from that pool. Either way the caller owns the returned set
+// and recycles it (pool.Put) once the receiver has consumed it.
+// Broadcast handles borrow src only until Close.
+//
+// Marshalling time: Send and Broadcast.Deliver are called from inside
+// the simulators' parallel regions (parx.ForEach), so the wire
+// backend's encode/decode cost is spread across the worker pool.
+// OpenBroadcast encodes once, before the parallel region, and Deliver
+// only decodes — mirroring a real server that serializes the global
+// model once per round and fans the bytes out.
+//
+// Determinism: implementations must be value-transparent (the received
+// set is bit-identical to the sent one — float64 survives the codec
+// exactly) and safe for concurrent use; traffic counters are atomic
+// sums, so totals are independent of worker interleaving. A transport
+// must not source randomness or reorder messages: delivery order
+// stays the simulators' responsibility (order-sensitive effects happen
+// sequentially between parallel phases, indexed by item, per the
+// internal/parx discipline).
+//
+// Stats are accumulated per transport instance, so instances must not
+// be shared between simulations.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// Stats is a transport's accumulated traffic accounting.
+type Stats struct {
+	// Messages and Bytes count point-to-point sends (fed uploads,
+	// gossip pushes) and their wire size.
+	Messages int64
+	Bytes    int64
+	// BroadcastMessages and BroadcastBytes count per-receiver broadcast
+	// deliveries (the fed global-model download).
+	BroadcastMessages int64
+	BroadcastBytes    int64
+	// Chunks counts wire framing units (equal to Messages +
+	// BroadcastMessages for unchunked backends).
+	Chunks int64
+}
+
+// Transport moves parameter sets between protocol participants. See
+// the package documentation for the ownership, marshalling and
+// determinism contract.
+type Transport interface {
+	// Name identifies the backend ("inproc", "wire", ...).
+	Name() string
+
+	// Send transmits a point-to-point payload, returning the set the
+	// receiver observes. It consumes payload and may draw the returned
+	// set from pool; the caller owns the result and recycles it into
+	// the same pool when the receiver is done. Safe for concurrent use.
+	Send(payload *param.Set, pool *param.Buffers) *param.Set
+
+	// OpenBroadcast prepares src for fan-out delivery to many
+	// receivers. src is borrowed until Close and must not be mutated
+	// while the broadcast is open. Deliver may be called concurrently.
+	OpenBroadcast(src *param.Set) Broadcast
+
+	// Stats returns the traffic accumulated by this instance.
+	Stats() Stats
+}
+
+// Broadcast is one message delivered to many receivers.
+type Broadcast interface {
+	// Deliver installs the broadcast payload into a receiver-owned set
+	// whose structure matches the source's. Safe for concurrent use.
+	Deliver(dst *param.Set)
+	// Close releases the broadcast's resources.
+	Close()
+}
+
+// counters is the shared atomic accounting embedded by every backend.
+type counters struct {
+	messages, bytes   atomic.Int64
+	bMessages, bBytes atomic.Int64
+	chunks            atomic.Int64
+}
+
+func (c *counters) Stats() Stats {
+	return Stats{
+		Messages:          c.messages.Load(),
+		Bytes:             c.bytes.Load(),
+		BroadcastMessages: c.bMessages.Load(),
+		BroadcastBytes:    c.bBytes.Load(),
+		Chunks:            c.chunks.Load(),
+	}
+}
+
+// Names lists the backend names New accepts (the empty string selects
+// inproc).
+func Names() []string { return []string{"inproc", "wire", "wire-chunked"} }
+
+// New builds a fresh transport instance for a backend name: "inproc"
+// (or ""), "wire", or "wire-chunked" (wire with DefaultChunkBytes
+// framing). Each call returns an independent instance with its own
+// stats.
+func New(name string) (Transport, error) {
+	switch name {
+	case "", "inproc":
+		return NewInproc(), nil
+	case "wire":
+		return NewWire(), nil
+	case "wire-chunked":
+		return NewChunkedWire(DefaultChunkBytes), nil
+	}
+	return nil, fmt.Errorf("transport: unknown backend %q (have %v)", name, Names())
+}

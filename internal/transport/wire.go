@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/collablearn/ciarec/internal/param"
+)
+
+// DefaultChunkBytes is the frame size of the "wire-chunked" backend:
+// large enough that headers stay a rounding error, small enough that
+// every bench-scale message spans several frames (a GMF dim-8 payload
+// at the bench sizing is ~26 KB).
+const DefaultChunkBytes = 4096
+
+// Wire is the serializing backend: every payload is marshalled through
+// the param binary codec into a pooled byte buffer and unmarshalled on
+// the receiving side, so all parameter traffic exercises the exact
+// bytes a multi-process deployment would put on the network. With
+// ChunkBytes > 0 the receiver additionally reads across fixed-size
+// chunk frames, proving the codec survives arbitrary message
+// fragmentation.
+//
+// Wire panics on codec errors: the bytes were produced by the matching
+// encoder in the same process, so a failure is a codec bug, not a
+// runtime condition (message loss is modelled explicitly by the
+// simulators' LossProb/DropoutProb, never by the transport).
+type Wire struct {
+	counters
+	chunkBytes int
+	bufs       sync.Pool // *bytes.Buffer
+}
+
+var _ Transport = (*Wire)(nil)
+
+// NewWire returns a fresh unframed wire transport.
+func NewWire() *Wire { return &Wire{} }
+
+// NewChunkedWire returns a wire transport whose receivers read the
+// encoded stream in frames of at most chunkBytes bytes.
+func NewChunkedWire(chunkBytes int) *Wire {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &Wire{chunkBytes: chunkBytes}
+}
+
+// Name implements Transport.
+func (t *Wire) Name() string {
+	if t.chunkBytes > 0 {
+		return "wire-chunked"
+	}
+	return "wire"
+}
+
+func (t *Wire) getBuf() *bytes.Buffer {
+	if b, ok := t.bufs.Get().(*bytes.Buffer); ok {
+		b.Reset()
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+// encode marshals s into a pooled buffer and returns it with the
+// encoded length.
+func (t *Wire) encode(s *param.Set) (*bytes.Buffer, int64) {
+	buf := t.getBuf()
+	n, err := s.WriteTo(buf)
+	if err != nil {
+		panic(fmt.Sprintf("transport: wire encode: %v", err))
+	}
+	return buf, n
+}
+
+// decode unmarshals an encoded stream into dst, which must have the
+// encoded structure.
+func (t *Wire) decode(data []byte, dst *param.Set) {
+	r := chunkReader{data: data, chunk: t.chunkBytes}
+	if _, err := dst.DecodeFrom(&r); err != nil {
+		panic(fmt.Sprintf("transport: wire decode: %v", err))
+	}
+}
+
+// frames returns the number of chunk frames an n-byte message spans.
+func (t *Wire) frames(n int64) int64 {
+	if t.chunkBytes <= 0 {
+		return 1
+	}
+	return (n + int64(t.chunkBytes) - 1) / int64(t.chunkBytes)
+}
+
+// Send implements Transport: marshal, recycle the sender's set, and
+// unmarshal into a pool-recycled set of the same structure.
+func (t *Wire) Send(payload *param.Set, pool *param.Buffers) *param.Set {
+	buf, n := t.encode(payload)
+	recv := pool.GetShaped(payload)
+	if recv == nil {
+		// Pool cold (first rounds): clone the payload for its structure;
+		// the decode below overwrites every value.
+		recv = payload.Clone()
+	}
+	pool.Put(payload)
+	t.decode(buf.Bytes(), recv)
+	t.bufs.Put(buf)
+	t.messages.Add(1)
+	t.bytes.Add(n)
+	t.chunks.Add(t.frames(n))
+	return recv
+}
+
+// OpenBroadcast implements Transport: encode src once; every Deliver
+// decodes the shared bytes into its receiver's set.
+func (t *Wire) OpenBroadcast(src *param.Set) Broadcast {
+	buf, n := t.encode(src)
+	return &wireBroadcast{t: t, buf: buf, n: n}
+}
+
+type wireBroadcast struct {
+	t   *Wire
+	buf *bytes.Buffer
+	n   int64
+}
+
+// Deliver decodes the broadcast bytes into dst. Concurrent Delivers
+// share the read-only encoded buffer through per-call readers.
+func (b *wireBroadcast) Deliver(dst *param.Set) {
+	b.t.decode(b.buf.Bytes(), dst)
+	b.t.bMessages.Add(1)
+	b.t.bBytes.Add(b.n)
+	b.t.chunks.Add(b.t.frames(b.n))
+}
+
+func (b *wireBroadcast) Close() {
+	b.t.bufs.Put(b.buf)
+	b.buf = nil
+}
+
+// chunkReader serves a byte slice in reads of at most chunk bytes
+// (unbounded when chunk <= 0), simulating a framed network stream: the
+// decoder's io.ReadFull calls must reassemble values that straddle
+// frame boundaries.
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if r.chunk > 0 && n > r.chunk {
+		n = r.chunk
+	}
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}

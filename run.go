@@ -65,6 +65,24 @@ func (d Defense) policy() defense.Policy {
 	}
 }
 
+// TransportKind selects the round-transport backend carrying every
+// parameter transfer inside the simulated protocols (see
+// internal/transport). Results are byte-identical across backends; the
+// wire backends exist to exercise — and cost — the serialization path
+// a real deployment would pay.
+type TransportKind string
+
+const (
+	// TransportInproc passes payload pointers in memory (the default).
+	TransportInproc TransportKind = "inproc"
+	// TransportWire round-trips every transfer through the binary wire
+	// codec using pooled buffers.
+	TransportWire TransportKind = "wire"
+	// TransportWireChunked is TransportWire with fixed-size frame
+	// reassembly on the receive path.
+	TransportWireChunked TransportKind = "wire-chunked"
+)
+
 // RunConfig describes one end-to-end experiment: train a collaborative
 // recommender and attack it with CIA, with every user playing the
 // adversary (the paper's evaluation protocol, §V-C).
@@ -77,6 +95,8 @@ type RunConfig struct {
 	Protocol Protocol
 	// Defense defaults to NoDefense.
 	Defense Defense
+	// Transport defaults to TransportInproc.
+	Transport TransportKind
 
 	// Rounds defaults to 25 for FL and 80 for gossip.
 	Rounds int
@@ -163,6 +183,7 @@ func (c *RunConfig) spec() experiments.Spec {
 		s.KFrac = float64(c.CommunitySize) / float64(c.Dataset.NumUsers())
 	}
 	s.Seed = c.Seed
+	s.Transport = string(c.Transport)
 	return s
 }
 
@@ -200,6 +221,11 @@ func (c *RunConfig) normalize() error {
 	}
 	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
 		return fmt.Errorf("ciarec: DropoutProb %v out of [0,1)", c.DropoutProb)
+	}
+	switch c.Transport {
+	case "", TransportInproc, TransportWire, TransportWireChunked:
+	default:
+		return fmt.Errorf("ciarec: unknown transport %q", c.Transport)
 	}
 	return nil
 }
