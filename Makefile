@@ -2,7 +2,7 @@ GO ?= go
 # benchstat needs several samples per benchmark to compute intervals.
 BENCH_COUNT ?= 6
 
-.PHONY: all build vet test race fuzz bench bench-tables
+.PHONY: all build vet test race fuzz bench bench-tables bench-compare
 
 all: vet build test
 
@@ -32,9 +32,26 @@ fuzz:
 #	benchstat old.txt new.txt
 bench:
 	$(GO) test -run='^$$' -count=$(BENCH_COUNT) -benchmem \
-		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate|BenchmarkWireRound' \
-		./internal/fed/ ./internal/gossip/ ./internal/param/
+		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate|BenchmarkWireRound|BenchmarkScoreItems|BenchmarkCodecThroughput' \
+		./internal/fed/ ./internal/gossip/ ./internal/param/ ./internal/model/
 
 # Full paper-table reproduction pass (one iteration per table).
 bench-tables:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+
+# One-command regression check for perf PRs: compare two `make bench`
+# captures with benchstat when it is installed, falling back to the
+# bundled averaging script otherwise.
+#
+#	make bench > old.txt   # on the baseline checkout
+#	make bench > new.txt   # on the candidate
+#	make bench-compare OLD=old.txt NEW=new.txt
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || \
+		{ echo "usage: make bench-compare OLD=old.txt NEW=new.txt"; exit 2; }
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$(OLD)" "$(NEW)"; \
+	else \
+		echo "benchstat not found (go install golang.org/x/perf/cmd/benchstat@latest); using scripts/benchdiff.awk"; \
+		awk -f scripts/benchdiff.awk "$(OLD)" "$(NEW)"; \
+	fi

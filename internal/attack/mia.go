@@ -39,6 +39,9 @@ type MIA struct {
 
 	counts  [][]float64 // [target][sender] member-classified counts
 	hasSeen []bool
+	// probs is the grown-on-demand buffer the batched per-target
+	// membership sweep writes the model's confidences into.
+	probs []float64
 
 	// precision bookkeeping over all (sender, item) member calls.
 	memberCalls   int
@@ -77,14 +80,21 @@ func NewMIA(rho float64, k int, scratch model.Recommender, targets [][]int, d *d
 // Observe classifies each target item's membership under the received
 // model and updates the sender's per-target member counts. Unlike CIA
 // there is no momentum: the proxy scores raw uploads, as in §VIII-C1.
+// Each target's confidences come from one batched PredictItems sweep
+// instead of a Predict call per item.
 func (m *MIA) Observe(sender int, payload *param.Set) {
 	m.scratch.Params().CopyShared(payload)
 	m.hasSeen[sender] = true
 	trainSet := m.data.TrainSet(sender)
 	for t, target := range m.targets {
+		if cap(m.probs) < len(target) {
+			m.probs = make([]float64, len(target))
+		}
+		probs := m.probs[:len(target)]
+		m.scratch.PredictItems(sender, target, probs)
 		var members float64
-		for _, it := range target {
-			p := m.scratch.Predict(sender, it)
+		for i, it := range target {
+			p := probs[i]
 			if m.Guarded && p < 0.5 {
 				continue
 			}

@@ -153,11 +153,7 @@ type mlpEval struct {
 func (e *mlpEval) Load(state *param.Set) { e.scratch.Params().CopyFrom(state) }
 
 func (e *mlpEval) Score(sender, t int) float64 {
-	var loss float64
-	for _, x := range e.data.TargetX[t] {
-		loss += e.scratch.Loss(x, t)
-	}
-	return -loss / float64(len(e.data.TargetX[t]))
+	return -e.scratch.MeanLossLabel(e.data.TargetX[t], t)
 }
 
 func (e *mlpEval) NumTargets() int { return e.data.NumClasses }

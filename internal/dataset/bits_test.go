@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestTrainBitsMirrorTrainSets checks the bitset membership index
+// against the map index item for item.
+func TestTrainBitsMirrorTrainSets(t *testing.T) {
+	d, err := GenerateSynthetic(SyntheticConfig{
+		Name: "bits", NumUsers: 60, NumItems: 130,
+		NumCommunities: 3, MeanItemsPerUser: 25, MinItemsPerUser: 5,
+		Affinity: 0.8, ZipfExponent: 0.8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SplitLeaveOneOut(3)
+	if d.trainBits == nil {
+		t.Fatal("bitset index not built at bench scale")
+	}
+	for u := 0; u < d.NumUsers; u++ {
+		for it := 0; it < d.NumItems; it++ {
+			_, inMap := d.trainSets[u][it]
+			inBits := d.trainBits[u][it>>6]&(1<<(uint(it)&63)) != 0
+			if inMap != inBits {
+				t.Fatalf("user %d item %d: map=%v bits=%v", u, it, inMap, inBits)
+			}
+		}
+	}
+}
+
+// TestSampleNegativeIndexInvariance pins the determinism contract: the
+// bitset fast path and the map fallback consume the generator
+// identically, so the sampled negative streams match draw for draw.
+func TestSampleNegativeIndexInvariance(t *testing.T) {
+	d, err := GenerateSynthetic(SyntheticConfig{
+		Name: "bits-stream", NumUsers: 40, NumItems: 90,
+		NumCommunities: 2, MeanItemsPerUser: 30, MinItemsPerUser: 5,
+		Affinity: 0.85, ZipfExponent: 0.9, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SplitLeaveOneOut(3)
+	fallback := d.Clone()
+	fallback.trainBits = nil // force the map path
+	r1 := rand.New(rand.NewPCG(5, 7))
+	r2 := rand.New(rand.NewPCG(5, 7))
+	for i := 0; i < 5000; i++ {
+		u := i % d.NumUsers
+		if a, b := d.SampleNegative(r1, u), fallback.SampleNegative(r2, u); a != b {
+			t.Fatalf("draw %d user %d: bitset %d != map %d", i, u, a, b)
+		}
+	}
+}

@@ -43,7 +43,19 @@ type Dataset struct {
 	PlantedCommunity []int
 
 	trainSets []map[int]struct{}
+	// trainBits[u] is a bitset over the item catalogue mirroring
+	// trainSets[u]. Negative sampling is the hottest membership probe in
+	// the repository (every SGD step and every HR sweep draws through
+	// it), and a word test is an order of magnitude cheaper than a map
+	// lookup. nil when the users×items bit table would exceed
+	// trainBitsMaxBytes; SampleNegative then falls back to the maps.
+	trainBits [][]uint64
 }
+
+// trainBitsMaxBytes caps the memory the bitset membership index may
+// take (64 MiB ≈ a 250k-user × 2k-item catalogue, far beyond the
+// paper-scale datasets). Larger shapes keep the map-only path.
+const trainBitsMaxBytes = 64 << 20
 
 // New assembles a dataset from explicit training interactions (test
 // splits start empty). train may be shorter than numUsers; missing
@@ -70,8 +82,9 @@ func New(name string, numUsers, numItems int, train [][]int) (*Dataset, error) {
 	return d, nil
 }
 
-// finalize builds the cached per-user train sets. Every constructor
-// and split must call it after mutating Train.
+// finalize builds the cached per-user train sets (maps for the TrainSet
+// API, bitsets for the sampling hot path). Every constructor and split
+// must call it after mutating Train.
 func (d *Dataset) finalize() {
 	d.trainSets = make([]map[int]struct{}, d.NumUsers)
 	for u := 0; u < d.NumUsers; u++ {
@@ -80,6 +93,20 @@ func (d *Dataset) finalize() {
 			set[it] = struct{}{}
 		}
 		d.trainSets[u] = set
+	}
+	words := (d.NumItems + 63) / 64
+	if int64(d.NumUsers)*int64(words)*8 > trainBitsMaxBytes {
+		d.trainBits = nil
+		return
+	}
+	bits := make([]uint64, d.NumUsers*words)
+	d.trainBits = make([][]uint64, d.NumUsers)
+	for u := 0; u < d.NumUsers; u++ {
+		row := bits[u*words : (u+1)*words]
+		for _, it := range d.Train[u] {
+			row[it>>6] |= 1 << (uint(it) & 63)
+		}
+		d.trainBits[u] = row
 	}
 }
 
@@ -98,9 +125,34 @@ func (d *Dataset) NumInteractions() int {
 
 // SampleNegative draws an item the user has not interacted with in
 // either split. It panics if the user has interacted with every item.
+//
+// The rejection loop consumes the generator identically whichever
+// membership index answers the probe (bitset or map), so sampling
+// streams — and therefore every downstream result — are independent of
+// the index the dataset shape selected.
 func (d *Dataset) SampleNegative(r *rand.Rand, u int) int {
 	if len(d.Train[u])+len(d.Test[u]) >= d.NumItems {
 		panic(fmt.Sprintf("dataset: user %d has no negative items", u))
+	}
+	if bits := d.trainBits; bits != nil {
+		row := bits[u]
+		test := d.Test[u]
+		for {
+			it := r.IntN(d.NumItems)
+			if row[it>>6]&(1<<(uint(it)&63)) != 0 {
+				continue
+			}
+			held := false
+			for _, h := range test {
+				if h == it {
+					held = true
+					break
+				}
+			}
+			if !held {
+				return it
+			}
+		}
 	}
 	for {
 		it := r.IntN(d.NumItems)

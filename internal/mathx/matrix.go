@@ -60,14 +60,15 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 }
 
 // MulVec computes dst = m · x where x has length Cols and dst length
-// Rows. It panics on shape mismatch.
+// Rows. It panics on shape mismatch. The product runs on the blocked
+// Gemv kernel; each row accumulates exactly as Dot, so the result is
+// bit-identical to the historical per-row loop.
 func (m *Matrix) MulVec(x, dst []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
-		panic("mathx: MulVec shape mismatch")
+		panic(fmt.Sprintf("mathx: MulVec shape mismatch: x %d, dst %d for %dx%d",
+			len(x), len(dst), m.Rows, m.Cols))
 	}
-	for i := 0; i < m.Rows; i++ {
-		dst[i] = Dot(m.Row(i), x)
-	}
+	Gemv(m, x, nil, dst)
 }
 
 // MulVecT computes dst = mᵀ · x where x has length Rows and dst length

@@ -32,8 +32,14 @@ func TopK(x []float64, k int) []int {
 // in the exact order TopK returns them (decreasing value, ascending
 // index on ties) and returns dst[:min(k, len(x))]. It is the
 // allocation-free variant for hot evaluation sweeps: dst must have
-// capacity for min(k, len(x)) entries, and x is CONSUMED — selected
-// positions are overwritten with -Inf.
+// capacity for min(k, len(x)) entries.
+//
+// The selection runs as one pass over x maintaining a size-k min-heap
+// of candidates (O(n log k) instead of the former k full scans), then
+// heap-sorts the survivors into the output order. The output is a pure
+// function of the values — identical, index for index, to the scan
+// implementation — and x is no longer mutated (earlier versions
+// consumed selected positions; no caller relied on that).
 func TopKSelect(x []float64, k int, dst []int) []int {
 	if k > len(x) {
 		k = len(x)
@@ -41,16 +47,51 @@ func TopKSelect(x []float64, k int, dst []int) []int {
 	if k <= 0 {
 		return dst[:0]
 	}
-	dst = dst[:0]
-	for len(dst) < k {
-		best := 0
-		for i := 1; i < len(x); i++ {
-			if x[i] > x[best] {
-				best = i
-			}
+	dst = dst[:k]
+	// worse reports whether candidate index a ranks below candidate b:
+	// smaller value, or equal value with larger index. The heap keeps
+	// the worst kept candidate at the root.
+	worse := func(a, b int) bool {
+		if x[a] != x[b] {
+			return x[a] < x[b]
 		}
-		dst = append(dst, best)
-		x[best] = math.Inf(-1)
+		return a > b
+	}
+	siftDown := func(h []int, i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			c := l
+			if r := l + 1; r < len(h) && worse(h[r], h[l]) {
+				c = r
+			}
+			if !worse(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := 0; i < k; i++ {
+		dst[i] = i
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(dst, i)
+	}
+	for i := k; i < len(x); i++ {
+		if worse(i, dst[0]) {
+			continue
+		}
+		dst[0] = i
+		siftDown(dst, 0)
+	}
+	// Pop ascending-badness candidates to the tail: the slice ends up
+	// ordered best first (decreasing value, ascending index on ties).
+	for n := k - 1; n > 0; n-- {
+		dst[0], dst[n] = dst[n], dst[0]
+		siftDown(dst[:n], 0)
 	}
 	return dst
 }

@@ -152,7 +152,8 @@ func TestJaccardInt(t *testing.T) {
 }
 
 // TopKSelect must reproduce TopK's exact order (decreasing value,
-// ascending-index ties) without allocating, consuming its input.
+// ascending-index ties) without allocating; since the heap rewrite it
+// must also leave its input untouched.
 func TestTopKSelectMatchesTopK(t *testing.T) {
 	r := NewRand(77)
 	for trial := 0; trial < 50; trial++ {
@@ -164,8 +165,13 @@ func TestTopKSelectMatchesTopK(t *testing.T) {
 		}
 		for _, k := range []int{0, 1, 3, n, n + 5} {
 			want := TopK(x, k)
-			consumed := append([]float64(nil), x...)
-			got := TopKSelect(consumed, k, make([]int, 0, n))
+			input := append([]float64(nil), x...)
+			got := TopKSelect(input, k, make([]int, 0, n))
+			for i := range input {
+				if input[i] != x[i] {
+					t.Fatalf("n=%d k=%d: TopKSelect mutated input at %d", n, k, i)
+				}
+			}
 			if len(got) != len(want) {
 				t.Fatalf("n=%d k=%d: len %d != %d", n, k, len(got), len(want))
 			}

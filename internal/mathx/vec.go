@@ -109,9 +109,7 @@ func Lerp(beta float64, dst, x []float64) {
 
 // Zero sets every element of x to zero.
 func Zero(x []float64) {
-	for i := range x {
-		x[i] = 0
-	}
+	clear(x)
 }
 
 // Fill sets every element of x to v.
@@ -122,23 +120,60 @@ func Fill(x []float64, v float64) {
 }
 
 // L2Norm returns the Euclidean norm of x.
+//
+// The loop body is 4-way unrolled (full-slice views eliminate the
+// per-element bounds checks) but — deliberately unlike Dot — keeps a
+// single accumulator with strictly sequential adds. L2Norm sits on the
+// training path (ClipL2 gates every PRME embedding update), where the
+// repository's bit-reproducibility contract pins the sequential
+// addition order: switching to Dot's independent-accumulator
+// pairwise-combine scheme would shift every clip decision by a few ulps
+// and invalidate the golden end-to-end hashes. The pure-scoring batch
+// kernels (Gemv and friends) are where the pairwise scheme applies.
 func L2Norm(x []float64) float64 {
 	var s float64
-	for _, v := range x {
-		s += v * v
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx := x[i : i+4 : i+4]
+		s += xx[0] * xx[0]
+		s += xx[1] * xx[1]
+		s += xx[2] * xx[2]
+		s += xx[3] * xx[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
 	}
 	return math.Sqrt(s)
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
 // It panics if the lengths differ.
+//
+// 4-way unrolled with a single sequential accumulator, for the same
+// reason as L2Norm: SqDist is PRME's training-time score kernel, so its
+// addition order is part of the golden determinism contract (see the
+// pairwise-combine note on Dot for the scheme the scoring-only kernels
+// use instead).
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mathx: SqDist length mismatch %d != %d", len(a), len(b)))
 	}
 	var s float64
-	for i, v := range a {
-		d := v - b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		d0 := aa[0] - bb[0]
+		s += d0 * d0
+		d1 := aa[1] - bb[1]
+		s += d1 * d1
+		d2 := aa[2] - bb[2]
+		s += d2 * d2
+		d3 := aa[3] - bb[3]
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
 	return s
@@ -164,7 +199,7 @@ func ClipL2(x []float64, c float64) float64 {
 // dst may alias a or b. It panics if the lengths differ.
 func Hadamard(a, b, dst []float64) {
 	if len(a) != len(b) || len(a) != len(dst) {
-		panic("mathx: Hadamard length mismatch")
+		panic(fmt.Sprintf("mathx: Hadamard length mismatch %d/%d/%d", len(a), len(b), len(dst)))
 	}
 	for i := range dst {
 		dst[i] = a[i] * b[i]
@@ -214,7 +249,7 @@ func Softmax(x []float64) {
 // ReLU writes max(0, x_i) into dst. dst may alias x.
 func ReLU(x, dst []float64) {
 	if len(x) != len(dst) {
-		panic("mathx: ReLU length mismatch")
+		panic(fmt.Sprintf("mathx: ReLU length mismatch %d != %d", len(x), len(dst)))
 	}
 	for i, v := range x {
 		if v > 0 {

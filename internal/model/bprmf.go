@@ -35,6 +35,9 @@ type BPRMF struct {
 	// allocated lazily so Clone and the constructor stay oblivious.
 	// Models are not goroutine-safe; each client/worker owns a copy.
 	grad []float64
+	// scoreBuf is the grown-on-demand staging area of the batched
+	// relevance sweeps.
+	scoreBuf []float64
 }
 
 var _ Recommender = (*BPRMF)(nil)
@@ -110,24 +113,36 @@ func (m *BPRMF) Relevance(owner int, items []int) float64 {
 	return m.RelevanceWithUserVec(m.userEmb.Row(owner), items)
 }
 
-// RelevanceWithUserVec scores items against an explicit user vector.
+// RelevanceWithUserVec scores items against an explicit user vector,
+// batched through one gathered matrix-vector product. The per-item
+// values and the mean's addition order match the historical scalar
+// loop bit for bit.
 func (m *BPRMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	var s float64
-	for _, it := range items {
-		s += m.score(vec, it)
-	}
-	return s / float64(len(items))
+	m.scoreBuf = growFloats(m.scoreBuf, len(items))
+	buf := m.scoreBuf
+	mathx.GemvRows(m.itemEmb, items, vec, m.itemBias, buf)
+	return mathx.Sum(buf) / float64(len(items))
 }
 
-// ScoreItems ranks candidates by raw score; prev is ignored.
+// ScoreItems ranks candidates by raw score on the batched kernels
+// (bias gathered by item id); prev is ignored.
 func (m *BPRMF) ScoreItems(owner, prev int, items []int, dst []float64) {
-	vec := m.userEmb.Row(owner)
-	for i, it := range items {
-		dst[i] = m.score(vec, it)
-	}
+	mathx.GemvRows(m.itemEmb, items, m.userEmb.Row(owner), m.itemBias, dst)
+}
+
+// ScoreAll scores the full catalogue in one blocked matrix-vector
+// product, bit-identical to scoring each item through score().
+func (m *BPRMF) ScoreAll(owner, prev int, dst []float64) {
+	mathx.Gemv(m.itemEmb, m.userEmb.Row(owner), m.itemBias, dst)
+}
+
+// PredictItems is the batched Predict: σ over the batched scores.
+func (m *BPRMF) PredictItems(owner int, items []int, dst []float64) {
+	m.ScoreItems(owner, -1, items, dst)
+	mathx.SigmoidInto(dst, dst)
 }
 
 func (m *BPRMF) PrivateEntries() []string { return []string{BPRMFUserEmb} }

@@ -37,7 +37,6 @@ type Eval struct {
 	seed    uint64
 	workers int
 	scratch []evalScratch
-	items   []int // identity catalogue shared by F1 sweeps (read-only)
 	vals    []float64
 	oks     []bool
 }
@@ -116,12 +115,6 @@ func (e *Eval) F1(pick func(w, u int) Recommender, k int) float64 {
 	if k <= 0 {
 		panic("model: F1 sweep requires positive k")
 	}
-	if e.items == nil {
-		e.items = make([]int, e.d.NumItems)
-		for i := range e.items {
-			e.items[i] = i
-		}
-	}
 	kTop := k
 	if kTop > e.d.NumItems {
 		kTop = e.d.NumItems
@@ -135,15 +128,16 @@ func (e *Eval) F1(pick func(w, u int) Recommender, k int) float64 {
 		sc.scores = growFloats(sc.scores, e.d.NumItems)
 		sc.top = growInts(sc.top, kTop)
 		e.vals[u], e.oks[u] = f1ForUserInto(
-			pick(w, u), e.d, u, k, e.items, sc.scores[:e.d.NumItems], sc.top)
+			pick(w, u), e.d, u, k, sc.scores[:e.d.NumItems], sc.top)
 	})
 	return e.reduce()
 }
 
 // ClonePick returns a pick function serving m itself to worker 0 and
-// lazily-built clones to the others. Model forward passes route through
-// model-owned scratch (NeuMF), so concurrent workers must never score
-// through one shared Recommender.
+// lazily-built clones to the others. Batched scoring routes through
+// model-owned scratch in every family (weighted-user vectors, hoisted
+// tower activations, per-item staging), so concurrent workers must
+// never score through one shared Recommender.
 func (e *Eval) ClonePick(m Recommender) func(w, u int) Recommender {
 	clones := make([]Recommender, e.workers)
 	clones[0] = m

@@ -35,6 +35,10 @@ type GMF struct {
 	// dQ, dH) so a step is allocation-free. Models are not
 	// goroutine-safe; each simulated client/worker owns its own copy.
 	scratch, scratchQ, scratchH []float64
+	// wuser holds the h-weighted user vector h ⊙ p_u the batched
+	// scoring kernels dot against item rows; scoreBuf is the grown-on-
+	// demand per-item staging area of the relevance/predict sweeps.
+	wuser, scoreBuf []float64
 }
 
 var _ Recommender = (*GMF)(nil)
@@ -63,6 +67,7 @@ func NewGMF(numUsers, numItems, dim int, seed uint64) *GMF {
 		scratch:  make([]float64, dim),
 		scratchQ: make([]float64, dim),
 		scratchH: make([]float64, dim),
+		wuser:    make([]float64, dim),
 	}
 	mathx.FillNormal(r, m.userEmb.Data, 0, gmfInitStd)
 	mathx.FillNormal(r, m.itemEmb.Data, 0, gmfInitStd)
@@ -104,6 +109,7 @@ func (m *GMF) Clone() Recommender {
 		scratch:  make([]float64, m.dim),
 		scratchQ: make([]float64, m.dim),
 		scratchH: make([]float64, m.dim),
+		wuser:    make([]float64, m.dim),
 	}
 	c.set = param.New()
 	c.set.AddMatrix(GMFUserEmb, c.userEmb)
@@ -134,25 +140,50 @@ func (m *GMF) Relevance(owner int, items []int) float64 {
 	return m.RelevanceWithUserVec(m.userEmb.Row(owner), items)
 }
 
-// RelevanceWithUserVec scores items against an explicit user vector.
+// weightedUser fills the wuser scratch with h ⊙ vec: the logit
+// h·(p ⊙ q) + b factors as (h ⊙ p)·q + b, so one Hadamard per user
+// turns the full-catalogue sweep into a single matrix-vector product.
+// The products (h[k]*p[k])*q[k] round exactly as the scalar logit's
+// h[k]*p[k]*q[k] (Go evaluates left to right), so only the kernel's
+// documented accumulation order distinguishes the two paths.
+func (m *GMF) weightedUser(vec []float64) []float64 {
+	mathx.Hadamard(m.h, vec, m.wuser)
+	return m.wuser
+}
+
+// RelevanceWithUserVec scores items against an explicit user vector,
+// batched: one gathered matrix-vector product and a sigmoid pass over
+// a model-owned buffer.
 func (m *GMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	var s float64
-	for _, it := range items {
-		s += mathx.Sigmoid(m.logit(vec, it))
-	}
-	return s / float64(len(items))
+	m.scoreBuf = growFloats(m.scoreBuf, len(items))
+	buf := m.scoreBuf
+	mathx.GemvRows(m.itemEmb, items, m.weightedUser(vec), nil, buf)
+	mathx.AddScalar(m.bias[0], buf)
+	mathx.SigmoidInto(buf, buf)
+	return mathx.Sum(buf) / float64(len(items))
 }
 
-// ScoreItems ranks candidates by raw logit; prev is ignored (GMF is
-// not sequence-aware).
+// ScoreItems ranks candidates by raw logit on the batched kernels;
+// prev is ignored (GMF is not sequence-aware).
 func (m *GMF) ScoreItems(owner, prev int, items []int, dst []float64) {
-	uvec := m.userEmb.Row(owner)
-	for i, it := range items {
-		dst[i] = m.logit(uvec, it)
-	}
+	mathx.GemvRows(m.itemEmb, items, m.weightedUser(m.userEmb.Row(owner)), nil, dst)
+	mathx.AddScalar(m.bias[0], dst)
+}
+
+// ScoreAll scores the full catalogue in one blocked matrix-vector
+// product over the item table.
+func (m *GMF) ScoreAll(owner, prev int, dst []float64) {
+	mathx.Gemv(m.itemEmb, m.weightedUser(m.userEmb.Row(owner)), nil, dst)
+	mathx.AddScalar(m.bias[0], dst)
+}
+
+// PredictItems is the batched Predict: σ over the batched logits.
+func (m *GMF) PredictItems(owner int, items []int, dst []float64) {
+	m.ScoreItems(owner, -1, items, dst)
+	mathx.SigmoidInto(dst, dst)
 }
 
 func (m *GMF) PrivateEntries() []string { return []string{GMFUserEmb} }

@@ -69,30 +69,29 @@ func F1ForUser(m Recommender, d *dataset.Dataset, u, k int) (f1 float64, ok bool
 	if len(d.Test[u]) == 0 {
 		return 0, false
 	}
-	items := make([]int, d.NumItems)
-	for i := range items {
-		items[i] = i
-	}
 	kTop := k
 	if kTop > d.NumItems {
 		kTop = d.NumItems
 	}
-	return f1ForUserInto(m, d, u, k, items, make([]float64, d.NumItems), make([]int, kTop))
+	return f1ForUserInto(m, d, u, k, make([]float64, d.NumItems), make([]int, kTop))
 }
 
-// f1ForUserInto is the allocation-free core of F1ForUser. items is the
-// identity catalogue [0, NumItems), scores a NumItems-length buffer
-// (consumed: training items and selected entries are overwritten), and
-// top has capacity for min(k, NumItems) indices. The caller has already
-// validated k and that the user is evaluable.
-func f1ForUserInto(m Recommender, d *dataset.Dataset, u, k int, items []int, scores []float64, top []int) (f1 float64, ok bool) {
+// f1ForUserInto is the allocation-free core of F1ForUser. scores is a
+// NumItems-length buffer (consumed: training items are overwritten with
+// -Inf before selection) and top has capacity for min(k, NumItems)
+// indices. The caller has already validated k and that the user is
+// evaluable. The full-catalogue sweep runs on the model's batched
+// ScoreAll kernel.
+func f1ForUserInto(m Recommender, d *dataset.Dataset, u, k int, scores []float64, top []int) (f1 float64, ok bool) {
 	prev := -1
 	if n := len(d.Train[u]); n > 0 {
 		prev = d.Train[u][n-1]
 	}
-	m.ScoreItems(u, prev, items, scores)
-	// Exclude training items from the recommendation slate.
-	for it := range d.TrainSet(u) {
+	m.ScoreAll(u, prev, scores)
+	// Exclude training items from the recommendation slate (Train[u] is
+	// duplicate-free per dataset.Validate, so the slice walk masks the
+	// same set the historical TrainSet map iteration did).
+	for _, it := range d.Train[u] {
 		scores[it] = negInf
 	}
 	top = mathx.TopKSelect(scores, k, top)

@@ -226,6 +226,21 @@ func (m *MLP) MeanLoss(xs [][]float64, labels []int) float64 {
 	return s / float64(len(xs))
 }
 
+// MeanLossLabel returns the mean cross-entropy of a batch that shares
+// one label — the shadow-model scoring sweep of the universality
+// experiment (every target sample of a class is scored against that
+// class). The per-sample forwards run on the blocked Gemv kernels.
+func (m *MLP) MeanLossLabel(xs [][]float64, label int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += m.Loss(x, label)
+	}
+	return s / float64(len(xs))
+}
+
 // TrainEpoch shuffles the batch and applies one SGD pass, returning
 // the mean loss.
 func (m *MLP) TrainEpoch(r *rand.Rand, xs [][]float64, labels []int, lr float64) float64 {

@@ -57,7 +57,21 @@ type Recommender interface {
 	// ScoreItems writes a ranking score for each candidate item into
 	// dst (len(dst) == len(items)). prev is the id of the user's most
 	// recent item for sequence-aware models, or -1; GMF ignores it.
+	// Implementations route through the batched mathx scoring kernels;
+	// scoring a candidate in a batch is bit-identical to scoring it in
+	// a singleton call.
 	ScoreItems(owner, prev int, items []int, dst []float64)
+
+	// ScoreAll writes a ranking score for every catalogue item into dst
+	// (len(dst) == NumItems()): the full-catalogue batched form of
+	// ScoreItems the top-K utility sweeps run on. dst[i] is
+	// bit-identical to the score ScoreItems produces for item i.
+	ScoreAll(owner, prev int, dst []float64)
+
+	// PredictItems writes the probability-like confidence for each
+	// candidate item into dst (len(dst) == len(items)) — the batched
+	// form of Predict used by the membership-inference evaluator.
+	PredictItems(owner int, items []int, dst []float64)
 
 	// PrivateEntries lists the parameter entries the Share-less policy
 	// withholds from messages (the user-embedding tables).

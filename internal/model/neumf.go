@@ -55,6 +55,11 @@ type NeuMF struct {
 	// backprop scratch (delta2 | delta1 | dIn), allocated lazily so
 	// Clone and the constructor stay oblivious.
 	grad []float64
+	// batched-scoring scratch: wg is the h-weighted GMF user vector,
+	// uPart the user half of the first MLP layer (W1[:, :dim]·p_m + b1)
+	// hoisted once per scored user, scoreBuf the grown-on-demand
+	// per-item staging area. Allocated lazily by scoreBatch.
+	wg, uPart, scoreBuf []float64
 }
 
 // gradViews carves the lazily-allocated backprop workspace into its
@@ -188,21 +193,70 @@ func (m *NeuMF) Predict(owner, item int) float64 {
 	return mathx.Sigmoid(m.logit(owner, item))
 }
 
-// Relevance is the mean predicted score over items (Eq. 3's Ŷ).
+// Relevance is the mean predicted score over items (Eq. 3's Ŷ),
+// computed on the batched scorer.
 func (m *NeuMF) Relevance(owner int, items []int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	var s float64
-	for _, it := range items {
-		s += mathx.Sigmoid(m.logit(owner, it))
+	m.scoreBuf = growFloats(m.scoreBuf, len(items))
+	buf := m.scoreBuf
+	m.scoreBatch(m.userG.Row(owner), m.userM.Row(owner), items, buf)
+	mathx.SigmoidInto(buf, buf)
+	return mathx.Sum(buf) / float64(len(items))
+}
+
+// scoreBatch writes the logit of every candidate into dst (items nil
+// selects the full catalogue, dst then spans NumItems) for explicit
+// tower user vectors ug/um.
+//
+// Unlike the training-path forward, the first MLP layer is split at
+// the tower boundary: the user half W1[:, :dim]·p_m + b1 is hoisted
+// into uPart once per call and only the item half W1[:, dim:]·q_m is
+// recomputed per item, halving the layer-1 work of a catalogue sweep;
+// the GMF tower likewise dots pre-weighted h ⊙ p_g against item rows.
+// Every batched entry point (ScoreItems, ScoreAll, PredictItems, the
+// relevance sweeps) routes through this one function, so batch and
+// singleton scoring are bit-identical by construction.
+func (m *NeuMF) scoreBatch(ug, um []float64, items []int, dst []float64) {
+	dim, h1c, h2c := m.dim, m.h1, m.h2
+	if m.wg == nil {
+		m.wg = make([]float64, dim)
+		m.uPart = make([]float64, h1c)
 	}
-	return s / float64(len(items))
+	mathx.Hadamard(m.h[:dim], ug, m.wg)
+	for j := 0; j < h1c; j++ {
+		m.uPart[j] = mathx.Dot(m.w1.Row(j)[:dim], um) + m.b1[j]
+	}
+	hOut := m.h[dim:]
+	n := len(dst)
+	for i := 0; i < n; i++ {
+		it := i
+		if items != nil {
+			it = items[i]
+		}
+		qg, qm := m.itemG.Row(it), m.itemM.Row(it)
+		for j := 0; j < h1c; j++ {
+			a := m.uPart[j] + mathx.Dot(m.w1.Row(j)[dim:], qm)
+			if a < 0 {
+				a = 0
+			}
+			m.a1[j] = a
+		}
+		for j := 0; j < h2c; j++ {
+			a := mathx.Dot(m.w2.Row(j), m.a1) + m.b2[j]
+			if a < 0 {
+				a = 0
+			}
+			m.a2[j] = a
+		}
+		dst[i] = mathx.Dot(m.wg, qg) + mathx.Dot(hOut, m.a2) + m.bias[0]
+	}
 }
 
 // RelevanceWithUserVec scores items against an explicit concatenated
 // user vector [p_g ; p_m] of length 2·dim (as produced by
-// FitFictiveUser).
+// FitFictiveUser), on the batched scorer.
 func (m *NeuMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	if len(vec) != 2*m.dim {
 		panic("model: NeuMF user vector must be [gmf ; mlp] of length 2*dim")
@@ -210,19 +264,28 @@ func (m *NeuMF) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	ug, um := vec[:m.dim], vec[m.dim:]
-	var s float64
-	for _, it := range items {
-		s += mathx.Sigmoid(m.forward(ug, um, it))
-	}
-	return s / float64(len(items))
+	m.scoreBuf = growFloats(m.scoreBuf, len(items))
+	buf := m.scoreBuf
+	m.scoreBatch(vec[:m.dim], vec[m.dim:], items, buf)
+	mathx.SigmoidInto(buf, buf)
+	return mathx.Sum(buf) / float64(len(items))
 }
 
-// ScoreItems ranks candidates by raw logit; prev is ignored.
+// ScoreItems ranks candidates by raw logit on the batched scorer;
+// prev is ignored.
 func (m *NeuMF) ScoreItems(owner, prev int, items []int, dst []float64) {
-	for i, it := range items {
-		dst[i] = m.logit(owner, it)
-	}
+	m.scoreBatch(m.userG.Row(owner), m.userM.Row(owner), items, dst)
+}
+
+// ScoreAll scores the full catalogue with per-user tower hoisting.
+func (m *NeuMF) ScoreAll(owner, prev int, dst []float64) {
+	m.scoreBatch(m.userG.Row(owner), m.userM.Row(owner), nil, dst)
+}
+
+// PredictItems is the batched Predict: σ over the batched logits.
+func (m *NeuMF) PredictItems(owner int, items []int, dst []float64) {
+	m.scoreBatch(m.userG.Row(owner), m.userM.Row(owner), items, dst)
+	mathx.SigmoidInto(dst, dst)
 }
 
 func (m *NeuMF) PrivateEntries() []string {

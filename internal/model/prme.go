@@ -43,6 +43,9 @@ type PRME struct {
 	// allocated lazily so Clone and the constructors stay oblivious.
 	// Models are not goroutine-safe; each client/worker owns a copy.
 	grad []float64
+	// scoreBuf is the grown-on-demand staging area of the batched
+	// scoring sweeps (two halves: preference and sequential distances).
+	scoreBuf []float64
 }
 
 var _ Recommender = (*PRME)(nil)
@@ -172,28 +175,84 @@ func (m *PRME) Relevance(owner int, items []int) float64 {
 // per-user ‖P_u‖² confound that cripples cross-model comparison).
 func (m *PRME) SetRawRelevance(raw bool) { m.rawRelevance = raw }
 
-// RelevanceWithUserVec scores items against an explicit user vector.
+// RelevanceWithUserVec scores items against an explicit user vector,
+// batched: one gathered pass over the preference table computing the
+// dots and squared norms the metric needs (raw mode gathers squared
+// distances instead).
 func (m *PRME) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	if len(items) == 0 {
 		return 0
 	}
-	var s float64
-	for _, it := range items {
-		if m.rawRelevance {
-			s += m.prefScore(vec, it)
-		} else {
-			s += m.relScore(vec, it)
+	n := len(items)
+	m.scoreBuf = growFloats(m.scoreBuf, 2*n)
+	if m.rawRelevance {
+		d := m.scoreBuf[:n]
+		mathx.SqDistRowsGather(m.itemPref, items, vec, d)
+		var s float64
+		for _, v := range d {
+			s += -v
 		}
+		return s / float64(n)
 	}
-	return s / float64(len(items))
+	dots, norms := m.scoreBuf[:n], m.scoreBuf[n:2*n]
+	mathx.DotNormRows(m.itemPref, items, vec, dots, norms)
+	var s float64
+	for i := range dots {
+		s += 2*dots[i] - norms[i]
+	}
+	return s / float64(n)
 }
 
 // ScoreItems ranks candidates with the full two-space score, using
-// prev as the sequential context (-1 for none).
+// prev as the sequential context (-1 for none). The batched form
+// gathers the preference-space (and, with context, sequential-space)
+// squared distances in blocked passes; each candidate's score is
+// bit-identical to the scalar score().
 func (m *PRME) ScoreItems(owner, prev int, items []int, dst []float64) {
 	uvec := m.userEmb.Row(owner)
-	for i, it := range items {
-		dst[i] = m.score(uvec, prev, it)
+	mathx.SqDistRowsGather(m.itemPref, items, uvec, dst)
+	if prev < 0 {
+		mathx.NegScaleInto(m.alpha, dst, dst)
+		return
+	}
+	m.scoreBuf = growFloats(m.scoreBuf, len(items))
+	d2 := m.scoreBuf[:len(items)]
+	mathx.SqDistRowsGather(m.itemSeq, items, m.itemSeq.Row(prev), d2)
+	m.combineTwoSpace(dst, d2)
+}
+
+// ScoreAll scores the full catalogue with two blocked distance sweeps
+// (one when there is no sequential context).
+func (m *PRME) ScoreAll(owner, prev int, dst []float64) {
+	uvec := m.userEmb.Row(owner)
+	mathx.SqDistRows(m.itemPref, uvec, dst)
+	if prev < 0 {
+		mathx.NegScaleInto(m.alpha, dst, dst)
+		return
+	}
+	m.scoreBuf = growFloats(m.scoreBuf, m.items)
+	d2 := m.scoreBuf[:m.items]
+	mathx.SqDistRows(m.itemSeq, m.itemSeq.Row(prev), d2)
+	m.combineTwoSpace(dst, d2)
+}
+
+// combineTwoSpace folds preference distances (in dst) and sequential
+// distances (in d2) into the final scores, with the exact operation
+// order of the scalar score(): s = α·d1; s += (1−α)·d2; −s.
+func (m *PRME) combineTwoSpace(dst, d2 []float64) {
+	for i := range dst {
+		s := m.alpha * dst[i]
+		s += (1 - m.alpha) * d2[i]
+		dst[i] = -s
+	}
+}
+
+// PredictItems is the batched Predict: σ(−‖P_u − L_i‖² + 1) from one
+// gathered distance sweep, bit-identical to Predict per item.
+func (m *PRME) PredictItems(owner int, items []int, dst []float64) {
+	mathx.SqDistRowsGather(m.itemPref, items, m.userEmb.Row(owner), dst)
+	for i, d := range dst {
+		dst[i] = mathx.Sigmoid(-d + 1)
 	}
 }
 

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sync"
+	"unsafe"
 )
 
 // Binary serialization for parameter sets: model checkpointing, the
@@ -35,6 +37,27 @@ var scratchPool = sync.Pool{
 		b := make([]byte, 8*floatChunk)
 		return &b
 	},
+}
+
+// codecFastPath selects the zero-copy entry-payload codec: on hosts
+// whose native byte order is the wire order (little-endian — every
+// platform this module targets), a []float64 payload and its encoded
+// bytes share one memory representation, so entry data moves as bulk
+// copies instead of a binary.LittleEndian+math.Float64bits loop per
+// float. Detected once at init; the portable per-float path stays
+// compiled (and exercised by tests that clear this flag) for
+// big-endian hosts. The wire format is identical on both paths.
+var codecFastPath = binary.NativeEndian.Uint16([]byte{0x01, 0x00}) == 1
+
+// floatsAsBytes views a []float64 as its in-memory bytes. The view is
+// only used on little-endian hosts, where it equals the wire encoding
+// of the payload. (A float64 slice is always 8-byte aligned, so the
+// reverse of this view is never needed.)
+func floatsAsBytes(f []float64) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), 8*len(f))
 }
 
 // WriteTo serializes the set. It implements io.WriterTo. Writers that
@@ -90,6 +113,18 @@ func (s *Set) encode(w io.Writer) (int64, error) {
 		}
 		if err := writeU32(uint32(e.Cols)); err != nil {
 			return n, err
+		}
+		if codecFastPath {
+			// Zero-copy: the payload's memory is its wire encoding, so
+			// hand it to the writer as one slice (writers here copy —
+			// bytes.Buffer, bufio — so exposing live model storage is
+			// safe, and is exactly what the scalar loop read anyway).
+			wn, err := w.Write(floatsAsBytes(e.Data))
+			n += int64(wn)
+			if err != nil {
+				return n, err
+			}
+			continue
 		}
 		for lo := 0; lo < len(e.Data); lo += floatChunk {
 			hi := min(lo+floatChunk, len(e.Data))
@@ -215,6 +250,20 @@ func (s *Set) ReadFrom(r io.Reader) (int64, error) {
 			if err := d.full(buf); err != nil {
 				return d.n, fmt.Errorf("param: entry %q data: %w", name, err)
 			}
+			if codecFastPath {
+				// Bulk-copy the chunk into the grown tail and NaN-scan
+				// the floats in place (the value check is the only
+				// per-float work the untrusted path keeps).
+				lo := len(data)
+				data = slices.Grow(data, c)[:lo+c]
+				copy(floatsAsBytes(data[lo:]), buf)
+				for _, v := range data[lo:] {
+					if math.IsNaN(v) {
+						return d.n, fmt.Errorf("param: entry %q contains NaN", name)
+					}
+				}
+				continue
+			}
 			for j := 0; j < c; j++ {
 				v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
 				if math.IsNaN(v) {
@@ -265,6 +314,15 @@ func (s *Set) DecodeFrom(r io.Reader) (int64, error) {
 		if int(rows) != e.Rows || int(cols) != e.Cols {
 			return d.n, fmt.Errorf("param: entry %q shape %dx%d != receiver's %dx%d",
 				e.Name, rows, cols, e.Rows, e.Cols)
+		}
+		if codecFastPath {
+			// Zero-copy receive: the stream lands directly in the
+			// entry's backing storage (live model parameters under the
+			// wire transport) with no intermediate scratch chunking.
+			if err := d.full(floatsAsBytes(e.Data)); err != nil {
+				return d.n, fmt.Errorf("param: entry %q data: %w", e.Name, err)
+			}
+			continue
 		}
 		for lo := 0; lo < len(e.Data); lo += floatChunk {
 			hi := min(lo+floatChunk, len(e.Data))

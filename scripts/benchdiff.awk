@@ -1,0 +1,40 @@
+# benchdiff.awk — minimal fallback for benchstat when the binary is not
+# installed: averages ns/op per benchmark across samples in two `go test
+# -bench` output files and prints old → new with the percentage delta.
+#
+#   awk -f scripts/benchdiff.awk old.txt new.txt
+#
+# Unlike benchstat it computes no confidence intervals; treat deltas
+# within a few percent as noise (or install benchstat:
+# go install golang.org/x/perf/cmd/benchstat@latest).
+/^Benchmark/ {
+    # Lines look like: BenchmarkName-8  <iters>  <value> ns/op [...]
+    value = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") { value = $(i - 1); break }
+    }
+    if (value == "") next
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (FILENAME == ARGV[1]) {
+        oldsum[name] += value
+        oldn[name]++
+    } else {
+        newsum[name] += value
+        newn[name]++
+        if (!(name in order)) {
+            order[name] = ++count
+            names[count] = name
+        }
+    }
+}
+END {
+    printf "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    for (i = 1; i <= count; i++) {
+        name = names[i]
+        if (!(name in oldsum)) continue
+        o = oldsum[name] / oldn[name]
+        n = newsum[name] / newn[name]
+        printf "%-60s %14.0f %14.0f %+8.1f%%\n", name, o, n, (n - o) * 100 / o
+    }
+}
