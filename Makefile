@@ -18,11 +18,12 @@ test:
 race:
 	$(GO) test -race -timeout=40m ./...
 
-# Short coverage-guided fuzz of the wire codec (the committed seed
-# corpus under internal/param/testdata/fuzz always runs as part of
-# `make test`).
+# Short coverage-guided fuzz of the wire codec and the RPC frame
+# decoder (the committed seed corpora under */testdata/fuzz always run
+# as part of `make test`).
 fuzz:
 	$(GO) test -fuzz='^FuzzParamSetReadFrom$$' -fuzztime=30s -run='^$$' ./internal/param/
+	$(GO) test -fuzz='^FuzzFrameRead$$' -fuzztime=30s -run='^$$' ./internal/transport/rpc/
 
 # Microbenchmarks of the round engine and the parameter pipeline,
 # emitted in benchstat-comparable form. Compare two trees with e.g.
@@ -32,7 +33,7 @@ fuzz:
 #	benchstat old.txt new.txt
 bench:
 	$(GO) test -run='^$$' -count=$(BENCH_COUNT) -benchmem \
-		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate|BenchmarkWireRound|BenchmarkScoreItems|BenchmarkCodecThroughput' \
+		-bench='BenchmarkFedRound|BenchmarkGossipCycle|BenchmarkParamClone|BenchmarkUtilityHR|BenchmarkUtilityF1|BenchmarkFedAggregate|BenchmarkWireRound|BenchmarkSocketRound|BenchmarkScoreItems|BenchmarkCodecThroughput' \
 		./internal/fed/ ./internal/gossip/ ./internal/param/ ./internal/model/
 
 # Full paper-table reproduction pass (one iteration per table).

@@ -189,7 +189,8 @@ func main() {
 		paper  = flag.Bool("paper", false, "paper-scale datasets and rounds (slow, memory-hungry)")
 		seed   = flag.Uint64("seed", 1, "master seed")
 		rounds = flag.Int("rounds", 0, "override FL round count")
-		trans  = flag.String("transport", "", "round transport backend: "+strings.Join(transport.Names(), " | ")+" (default inproc)")
+		trans  = flag.String("transport", "", "round transport backend: "+strings.Join(transport.Names(), " | ")+" (default inproc; socket backends spin up a loopback server unless -addr is given)")
+		addr   = flag.String("addr", "", "external ciaworker address for the socket backends: a socket path (socket) or host:port (socket-tcp)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -206,11 +207,17 @@ func main() {
 	if *rounds > 0 {
 		spec.Rounds = *rounds
 	}
-	if _, err := transport.New(*trans); err != nil {
-		fmt.Fprintf(os.Stderr, "ciabench: %v\n", err)
+	if !transport.Known(*trans) {
+		fmt.Fprintf(os.Stderr, "ciabench: unknown transport %q (have %s)\n",
+			*trans, strings.Join(transport.Names(), ", "))
+		os.Exit(2)
+	}
+	if *addr != "" && *trans != "socket" && *trans != "socket-tcp" {
+		fmt.Fprintf(os.Stderr, "ciabench: -addr requires -transport socket or socket-tcp\n")
 		os.Exit(2)
 	}
 	spec.Transport = *trans
+	spec.TransportAddr = *addr
 
 	ids := experimentIDs()
 	if *exp != "all" {

@@ -12,7 +12,6 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
-	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // This file implements the ablations called out in DESIGN.md §6 plus
@@ -73,10 +72,11 @@ func RunSecureAggAblation(spec Spec) ([]SecureAggRow, error) {
 		}
 		rec := evalx.NewRecorder()
 		scratch := factory(0)
-		tr, err := transport.New(spec.Transport)
+		tr, err := newTransport(spec)
 		if err != nil {
 			return nil, err
 		}
+		defer tr.Close()
 		sim, err := fed.New(fed.Config{
 			Dataset:   d,
 			Factory:   factory,
@@ -212,10 +212,11 @@ func RunFictiveAblation(spec Spec) ([]FictiveRow, error) {
 			zeroVector: zeroVector,
 			dim:        spec.Dim,
 		}
-		tr, err := transport.New(spec.Transport)
+		tr, err := newTransport(spec)
 		if err != nil {
 			return 0, err
 		}
+		defer tr.Close()
 		sim, err := fed.New(fed.Config{
 			Dataset:   d,
 			Factory:   factory,
@@ -329,10 +330,11 @@ func runFLCIAWithFactory(d *dataset.Dataset, factory model.Factory, spec Spec) (
 	ev := attack.NewRecommenderEval(factory(0), targets)
 	cia := attack.New(attack.Config{Beta: spec.Beta, K: k, NumUsers: d.NumUsers, Eval: ev})
 	rec := evalx.NewRecorder()
-	tr, err := transport.New(spec.Transport)
+	tr, err := newTransport(spec)
 	if err != nil {
 		return 0, err
 	}
+	defer tr.Close()
 	sim, err := fed.New(fed.Config{
 		Dataset:   d,
 		Factory:   factory,

@@ -14,7 +14,6 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
-	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // TradeoffPoint is one bar group of Figures 3 and 4: a protocol ×
@@ -210,10 +209,11 @@ func RunTargetedFL(d *dataset.Dataset, family string, spec Spec, target []int, k
 		Beta: spec.Beta, K: k, NumUsers: d.NumUsers, Eval: ev,
 	})
 	obs := &targetedObserver{cia: cia, ev: ev, rng: mathx.NewRand(spec.Seed ^ 0x7a9), shareLess: shareLess}
-	tr, err := transport.New(spec.Transport)
+	tr, err := newTransport(spec)
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Close()
 	sim, err := fed.New(fed.Config{
 		Dataset:   d,
 		Factory:   factory,

@@ -1,23 +1,29 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
+	"github.com/collablearn/ciarec/internal/transport/rpc"
 )
 
 // updateGolden regenerates testdata/golden.json:
@@ -49,6 +55,18 @@ func hashRun(params []*param.Set, utility []float64) string {
 // transport backend and digests it.
 func goldenFedRun(t *testing.T, backend string) string {
 	t.Helper()
+	tr, err := transport.New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenFedRunOn(t, tr)
+}
+
+// goldenFedRunOn is goldenFedRun on an explicit transport instance
+// (owned and closed here), so the two-process test can dial a worker.
+func goldenFedRunOn(t *testing.T, tr transport.Transport) string {
+	t.Helper()
+	defer tr.Close()
 	spec := BenchSpec()
 	spec.Workers = 2
 	d, err := MakeDataset("movielens", spec)
@@ -56,10 +74,6 @@ func goldenFedRun(t *testing.T, backend string) string {
 		t.Fatal(err)
 	}
 	SplitFor("gmf", d)
-	tr, err := transport.New(backend)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var hr []float64
 	sim, err := fed.New(fed.Config{
 		Dataset:   d,
@@ -95,6 +109,7 @@ func goldenGossipRun(t *testing.T, backend string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer tr.Close()
 	var f1 []float64
 	sim, err := gossip.New(gossip.Config{
 		Dataset:   d,
@@ -134,15 +149,20 @@ func goldenGossipRun(t *testing.T, backend string) string {
 // the comparison is gated to amd64 (where CI runs).
 func TestGoldenDeterminism(t *testing.T) {
 	hashes := map[string]string{}
-	for _, backend := range []string{"inproc", "wire"} {
+	for _, backend := range []string{"inproc", "wire", "socket"} {
 		hashes["fed-gmf/"+backend] = goldenFedRun(t, backend)
 		hashes["gossip-prme/"+backend] = goldenGossipRun(t, backend)
 	}
 	// The transport backends must agree with each other regardless of
 	// what the golden file says (this half runs on every architecture).
+	// "socket" runs the complete RPC network path over a loopback
+	// Unix-domain socket server, so agreement here means the framed
+	// protocol is value-transparent end to end.
 	for _, workload := range []string{"fed-gmf", "gossip-prme"} {
-		if hashes[workload+"/inproc"] != hashes[workload+"/wire"] {
-			t.Fatalf("%s: wire and inproc hashes differ", workload)
+		for _, backend := range []string{"wire", "socket"} {
+			if hashes[workload+"/inproc"] != hashes[workload+"/"+backend] {
+				t.Fatalf("%s: %s and inproc hashes differ", workload, backend)
+			}
 		}
 	}
 
@@ -188,5 +208,71 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if len(hashes) != len(want) {
 		t.Errorf("produced %d hashes, golden file has %d (regenerate with -update)", len(hashes), len(want))
+	}
+}
+
+// workerEnv is the re-exec trigger: when set (to "network:address"),
+// the test binary serves the transport RPC protocol at that address
+// instead of running tests — a real second OS process for
+// TestGoldenSocketTwoProcess, sharing cmd/ciaworker's serving path
+// (rpc.Serve) without needing the Go toolchain to build the binary
+// inside the test.
+const workerEnv = "CIAREC_RPC_WORKER"
+
+func TestMain(m *testing.M) {
+	if spec := os.Getenv(workerEnv); spec != "" {
+		network, addr, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad %s %q (want network:addr)\n", workerEnv, spec)
+			os.Exit(1)
+		}
+		if _, err := rpc.Serve(network, addr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		select {} // serve until the parent kills the process (no orderly teardown)
+	}
+	os.Exit(m.Run())
+}
+
+// TestGoldenSocketTwoProcess is the acceptance check for the
+// multi-process round engine: the reference federated workload, with
+// every parameter transfer dialed out to an RPC worker running in a
+// separate OS process, must hash identically to the in-process run.
+func TestGoldenSocketTwoProcess(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "worker.sock")
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), workerEnv+"=unix:"+sock)
+	var output bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &output, &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// Wait until the worker's socket accepts connections.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		conn, err := net.Dial("unix", sock)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker process never came up: %v\noutput: %s", err, output.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ref := goldenFedRun(t, "inproc")
+	tr, err := transport.Dial("socket", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenFedRunOn(t, tr)
+	if got != ref {
+		t.Fatalf("two-process socket hash %s != inproc %s", got, ref)
 	}
 }

@@ -32,6 +32,22 @@ const (
 type RunResult struct {
 	Attack  evalx.Result
 	Utility []float64 // one value per round (empty with UtilityNone)
+	// TransportName and Traffic record which round-transport backend
+	// carried the run and what it cost (messages, bytes, RPC
+	// round-trips), so wire vs socket overhead is visible per run.
+	TransportName string
+	Traffic       transport.Stats
+}
+
+// newTransport builds the transport a run's spec asks for: a loopback
+// or in-process backend via transport.New, or a connection to an
+// external worker process when TransportAddr is set. The caller owns
+// the instance and must Close it when the run is done.
+func newTransport(s Spec) (transport.Transport, error) {
+	if s.TransportAddr != "" {
+		return transport.Dial(s.Transport, s.TransportAddr)
+	}
+	return transport.New(s.Transport)
 }
 
 // BestUtility returns the best per-round utility (0 when not recorded).
@@ -109,10 +125,11 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		rng:           mathx.NewRand(o.Spec.Seed ^ 0x51ce),
 		fictiveEpochs: o.FictiveEpochs,
 	}
-	tr, err := transport.New(o.Spec.Transport)
+	tr, err := newTransport(o.Spec)
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer tr.Close()
 	var utility []float64
 	sim, err := fed.New(fed.Config{
 		Dataset:        o.Data,
@@ -155,7 +172,7 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 	}
 	upper /= float64(len(truths))
 	res := obs.rec.Summarize(evalx.RandomBound(k, o.Data.NumUsers), upper)
-	return RunResult{Attack: res, Utility: utility}, nil
+	return RunResult{Attack: res, Utility: utility, TransportName: tr.Name(), Traffic: tr.Stats()}, nil
 }
 
 // flObserver adapts the CIA instance to the fed.Observer interface:
@@ -278,10 +295,11 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 	if glRounds == 0 {
 		glRounds = o.Spec.Rounds
 	}
-	tr, err := transport.New(o.Spec.Transport)
+	tr, err := newTransport(o.Spec)
 	if err != nil {
 		return RunResult{}, err
 	}
+	defer tr.Close()
 	var utility []float64
 	sim, err := gossip.New(gossip.Config{
 		Dataset:     o.Data,
@@ -312,7 +330,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 	sim.Run()
 
 	res := obs.rec.Summarize(evalx.RandomBound(k, n), obs.meanUpperBound())
-	return RunResult{Attack: res, Utility: utility}, nil
+	return RunResult{Attack: res, Utility: utility, TransportName: tr.Name(), Traffic: tr.Stats()}, nil
 }
 
 // targetView exposes a single target of a shared multi-target

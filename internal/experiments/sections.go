@@ -9,7 +9,6 @@ import (
 	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
-	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // RunUniversality reproduces §VIII-E: CIA against an MLP
@@ -82,10 +81,11 @@ func RunAIAComparison(spec Spec) (AIAComparison, error) {
 	truth := evalx.TrueCommunity(d, target, k)
 
 	// Warm-up federation to give the AIA a meaningful global model.
-	warmTr, err := transport.New(spec.Transport)
+	warmTr, err := newTransport(spec)
 	if err != nil {
 		return AIAComparison{}, err
 	}
+	defer warmTr.Close()
 	warm, err := fed.New(fed.Config{
 		Dataset: d, Factory: factory, Rounds: spec.Rounds / 2,
 		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},
@@ -113,10 +113,11 @@ func RunAIAComparison(spec Spec) (AIAComparison, error) {
 	// Continue the federation with both attacks observing. A fresh
 	// simulation seeded from the warm global keeps the harness simple:
 	// install the warm parameters into the new run's global model.
-	tr, err := transport.New(spec.Transport)
+	tr, err := newTransport(spec)
 	if err != nil {
 		return AIAComparison{}, err
 	}
+	defer tr.Close()
 	sim, err := fed.New(fed.Config{
 		Dataset: d, Factory: factory, Rounds: spec.Rounds / 2,
 		Train:     model.TrainOptions{Epochs: spec.LocalEpochs},

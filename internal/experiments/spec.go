@@ -64,10 +64,18 @@ type Spec struct {
 	Workers int
 	// Transport selects the round-transport backend threaded into the
 	// protocol simulators: "" or "inproc" (pointer passing), "wire"
-	// (every parameter transfer round-trips the binary codec), or
-	// "wire-chunked" (wire plus fixed-size frame reassembly). Results
-	// are byte-identical across backends (see internal/transport).
+	// (every parameter transfer round-trips the binary codec),
+	// "wire-chunked" (wire plus fixed-size frame reassembly), "socket"
+	// (framed RPC over an in-process loopback Unix-domain socket
+	// server) or "socket-tcp" (the same over loopback TCP). Results are
+	// byte-identical across backends (see internal/transport).
 	Transport string
+	// TransportAddr, when non-empty, dials an external RPC worker (a
+	// running `ciaworker` process) at this address instead of spinning
+	// up a loopback server: a socket path for "socket", a host:port for
+	// "socket-tcp". Every parameter transfer of the run then crosses OS
+	// process boundaries. Only meaningful with the socket backends.
+	TransportAddr string
 	// Seed drives all generation and training.
 	Seed uint64
 }

@@ -16,12 +16,20 @@ import (
 	"github.com/collablearn/ciarec/internal/transport"
 )
 
-// AttackRow is one table line of attack metrics.
+// AttackRow is one table line of attack metrics, optionally annotated
+// with the transport traffic its run generated.
 type AttackRow struct {
 	Dataset string
 	Model   string
 	Setting string // protocol / colluder / defense label
 	Result  evalx.Result
+
+	// Transport and Traffic carry the run's round-transport backend and
+	// its traffic accounting when the runner recorded them (RunTable2,
+	// RunTable3); RenderRows then appends a per-row traffic table so
+	// wire vs socket cost is visible next to the attack numbers.
+	Transport string
+	Traffic   transport.Stats
 }
 
 func (r AttackRow) String() string {
@@ -31,12 +39,47 @@ func (r AttackRow) String() string {
 		100*r.Result.RandomBound, 100*r.Result.UpperBound)
 }
 
-// RenderRows formats rows under a title, one per line.
+// RenderRows formats rows under a title, one per line, followed by a
+// transport-traffic table when the rows carry one.
 func RenderRows(title string, rows []AttackRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
 	for _, r := range rows {
 		fmt.Fprintln(&b, r.String())
+	}
+	b.WriteString(renderTraffic(rows))
+	return b.String()
+}
+
+// renderTraffic formats the per-run transport accounting of rows that
+// recorded it: point-to-point and broadcast volume, frame counts, and
+// the socket backends' RPC round-trip/reconnect counters.
+func renderTraffic(rows []AttackRow) string {
+	any := false
+	for _, r := range rows {
+		if r.Transport != "" {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("-- transport traffic per run --\n")
+	fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8s %9s %8s %9s %8s %7s %6s\n",
+		"dataset", "model", "setting", "backend",
+		"msgs", "MB", "bcasts", "bcastMB", "chunks", "rtrips", "reconn")
+	for _, r := range rows {
+		if r.Transport == "" {
+			continue
+		}
+		st := r.Traffic
+		fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8d %9.2f %8d %9.2f %8d %7d %6d\n",
+			r.Dataset, r.Model, r.Setting, r.Transport,
+			st.Messages, float64(st.Bytes)/(1<<20),
+			st.BroadcastMessages, float64(st.BroadcastBytes)/(1<<20),
+			st.Chunks, st.RoundTrips, st.Reconnects)
 	}
 	return b.String()
 }
@@ -69,7 +112,10 @@ func RunTable2(spec Spec) ([]AttackRow, error) {
 		if err != nil {
 			return err
 		}
-		rows[i] = AttackRow{Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack}
+		rows[i] = AttackRow{
+			Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack,
+			Transport: res.TransportName, Traffic: res.Traffic,
+		}
 		return nil
 	})
 	if err != nil {
@@ -109,7 +155,10 @@ func RunTable3(spec Spec) ([]AttackRow, error) {
 		if err != nil {
 			return err
 		}
-		rows[i] = AttackRow{Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack}
+		rows[i] = AttackRow{
+			Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack,
+			Transport: res.TransportName, Traffic: res.Traffic,
+		}
 		return nil
 	})
 	if err != nil {
@@ -347,10 +396,11 @@ func RunTable8(spec Spec) (Table8Result, error) {
 		truths: truths, rec: rec,
 		plainRecs: newRecs(), guardedRecs: newRecs(),
 	}
-	tr, err := transport.New(spec.Transport)
+	tr, err := newTransport(spec)
 	if err != nil {
 		return Table8Result{}, err
 	}
+	defer tr.Close()
 	sim, err := fed.New(fed.Config{
 		Dataset:   d,
 		Factory:   factory,

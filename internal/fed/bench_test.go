@@ -69,6 +69,35 @@ func BenchmarkWireRound(b *testing.B) {
 	}
 }
 
+// BenchmarkSocketRound prices the multi-process RPC transport: one
+// full FedAvg round where every download and upload is a framed
+// request/response round-trip over a loopback Unix-domain socket
+// against the in-process rpc.Server — serialization plus syscalls,
+// kernel socket buffers and connection-pool traffic. The socket/inproc
+// gap is the full single-host IPC tax; compare with BenchmarkWireRound
+// to isolate what the socket hop adds on top of the codec. See
+// PERFORMANCE.md for recorded numbers.
+func BenchmarkSocketRound(b *testing.B) {
+	for _, backend := range []string{"inproc", "socket"} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", backend, workers), func(b *testing.B) {
+				tr, err := transport.New(backend)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { tr.Close() })
+				s := benchSimOn(b, workers, tr)
+				s.RunRound() // warm scratch models, pools and the conn pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.RunRound()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFedRound measures one full FedAvg round (140 clients × 2
 // local epochs plus aggregation) at several worker counts. The
 // acceptance target is ≥2× wall-clock at workers=4 vs workers=1 on a

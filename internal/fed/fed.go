@@ -88,10 +88,13 @@ type Config struct {
 	// broadcast each sampled client downloads and the upload it sends
 	// back. nil defaults to a fresh transport.Inproc (pointer passing).
 	// Pass transport.NewWire() to round-trip every transfer through the
-	// binary wire codec — results are byte-identical either way (the
-	// cross-backend equivalence suite enforces it). Instances accumulate
-	// per-simulation traffic stats, so do not share one across
-	// simulations.
+	// binary wire codec, or a transport.New("socket")/transport.Dial
+	// instance to push it through the framed RPC protocol over a real
+	// socket (loopback or an external ciaworker process) — results are
+	// byte-identical on every backend (the cross-backend equivalence
+	// suite enforces it). The caller keeps ownership: the simulation
+	// never closes the transport. Instances accumulate per-simulation
+	// traffic stats, so do not share one across simulations.
 	Transport transport.Transport
 
 	// Observer optionally receives all uploads (the adversary hook).
@@ -304,7 +307,7 @@ func (s *Simulation) RunRound() {
 	for range sampled {
 		s.payloads = append(s.payloads, nil)
 	}
-	bcast := s.tr.OpenBroadcast(s.global.Params())
+	bcast := s.tr.OpenBroadcast(round, s.global.Params())
 	parx.ForEach(s.workers, len(sampled), func(w, i int) {
 		payload := s.clientRound(round, sampled[i], s.scratches[w], bcast)
 		if s.dropped[i] {
@@ -313,7 +316,7 @@ func (s *Simulation) RunRound() {
 			s.pool.Put(payload)
 			return
 		}
-		s.payloads[i] = s.tr.Send(payload, &s.pool)
+		s.payloads[i] = s.tr.Send(round, sampled[i], payload, &s.pool)
 	})
 	bcast.Close()
 

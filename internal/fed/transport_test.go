@@ -19,6 +19,7 @@ func runWithTransport(t *testing.T, cfg Config, backend string) (*Simulation, *p
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { tr.Close() })
 	cfg.Transport = tr
 	var hr, f1 []float64
 	cfg.OnRound = func(round int, s *Simulation) {
@@ -35,11 +36,12 @@ func runWithTransport(t *testing.T, cfg Config, backend string) (*Simulation, *p
 
 // The tentpole guarantee of the pluggable round transport: for every
 // (policy, model, workers) cell, routing all parameter traffic through
-// the serializing wire backend (plain and chunk-framed) produces
-// byte-identical final models, identical utility curves and identical
-// upload accounting to the in-memory backend. CI runs this under
-// -race, which also exercises concurrent wire encode/decode from the
-// worker pool.
+// the serializing backends — the wire codec (plain and chunk-framed)
+// and the socket RPC path over a loopback Unix-domain socket server —
+// produces byte-identical final models, identical utility curves and
+// identical upload accounting to the in-memory backend. CI runs this
+// under -race, which also exercises concurrent wire encode/decode and
+// concurrent RPC round-trips from the worker pool.
 func TestTransportBackendEquivalence(t *testing.T) {
 	d := fedTestDataset(t)
 	policies := map[string]defense.Policy{
@@ -61,7 +63,7 @@ func TestTransportBackendEquivalence(t *testing.T) {
 					cfg.Rounds = 3
 					cfg.Workers = workers
 					refSim, refParams, refHR, refF1 := runWithTransport(t, cfg, "inproc")
-					for _, backend := range []string{"wire", "wire-chunked"} {
+					for _, backend := range []string{"wire", "wire-chunked", "socket"} {
 						sim, params, hr, f1 := runWithTransport(t, cfg, backend)
 						if !param.Equal(refParams, params, 0) {
 							t.Fatalf("%s final global params differ from inproc", backend)
@@ -95,17 +97,19 @@ func TestTransportEquivalenceWithDropoutAndSampling(t *testing.T) {
 	cfg.DropoutProb = 0.2
 	cfg.Workers = 3
 	refSim, refParams, refHR, _ := runWithTransport(t, cfg, "inproc")
-	sim, params, hr, _ := runWithTransport(t, cfg, "wire")
-	if !param.Equal(refParams, params, 0) {
-		t.Fatal("wire run differs from inproc under sampling+dropout")
-	}
-	for r := range refHR {
-		if hr[r] != refHR[r] {
-			t.Fatalf("utility differs at round %d", r)
+	for _, backend := range []string{"wire", "socket"} {
+		sim, params, hr, _ := runWithTransport(t, cfg, backend)
+		if !param.Equal(refParams, params, 0) {
+			t.Fatalf("%s run differs from inproc under sampling+dropout", backend)
 		}
-	}
-	if sim.Traffic() != refSim.Traffic() {
-		t.Fatalf("traffic %+v != %+v", sim.Traffic(), refSim.Traffic())
+		for r := range refHR {
+			if hr[r] != refHR[r] {
+				t.Fatalf("%s utility differs at round %d", backend, r)
+			}
+		}
+		if sim.Traffic() != refSim.Traffic() {
+			t.Fatalf("%s traffic %+v != %+v", backend, sim.Traffic(), refSim.Traffic())
+		}
 	}
 }
 
@@ -122,6 +126,7 @@ func TestTransportObserverSequence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { tr.Close() })
 		var log []seen
 		cfg := fedConfig(d)
 		cfg.Workers = 4
@@ -137,7 +142,7 @@ func TestTransportObserverSequence(t *testing.T) {
 		return log
 	}
 	ref := record("inproc")
-	for _, backend := range []string{"wire", "wire-chunked"} {
+	for _, backend := range []string{"wire", "wire-chunked", "socket"} {
 		got := record(backend)
 		if len(ref) != len(got) {
 			t.Fatalf("%s observation count %d != inproc %d", backend, len(got), len(ref))

@@ -109,10 +109,13 @@ type Config struct {
 
 	// Transport carries the node→neighbour model pushes. nil defaults
 	// to a fresh transport.Inproc (pointer passing); transport.NewWire()
-	// round-trips every push through the binary wire codec with
-	// byte-identical results (enforced by the cross-backend equivalence
-	// suite). Instances accumulate per-simulation traffic stats, so do
-	// not share one across simulations.
+	// round-trips every push through the binary wire codec and the
+	// socket backends (transport.New("socket") / transport.Dial) push
+	// it over a real RPC socket, all with byte-identical results
+	// (enforced by the cross-backend equivalence suite). The caller
+	// keeps ownership: the simulation never closes the transport.
+	// Instances accumulate per-simulation traffic stats, so do not
+	// share one across simulations.
 	Transport transport.Transport
 
 	// Workers bounds the number of goroutines running per-node work
@@ -335,7 +338,7 @@ func (s *Simulation) RunRound() {
 			s.pool.Put(payload)
 			return // failure injection: message lost in transit
 		}
-		s.pushes[u] = push{to: to, payload: s.tr.Send(payload, &s.pool)}
+		s.pushes[u] = push{to: to, payload: s.tr.Send(round, u, payload, &s.pool)}
 	})
 
 	// Phase 1b: deliver in sender order (sequential — inbox append

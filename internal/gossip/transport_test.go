@@ -19,6 +19,7 @@ func runWithTransport(t *testing.T, cfg Config, backend string) (*Simulation, []
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { tr.Close() })
 	cfg.Transport = tr
 	var hr []float64
 	cfg.OnRound = func(round int, s *Simulation) {
@@ -37,10 +38,12 @@ func runWithTransport(t *testing.T, cfg Config, backend string) (*Simulation, []
 }
 
 // Cross-backend equivalence for the decentralized protocol: for every
-// (variant/policy, model, workers) cell the serializing wire backends
-// must produce byte-identical node models, identical utility curves
-// and identical delivered-message accounting. CI runs this under
-// -race, exercising concurrent wire encode/decode from the node pool.
+// (variant/policy, model, workers) cell the serializing backends —
+// wire, chunk-framed wire, and the socket RPC path over a loopback
+// Unix-domain socket server — must produce byte-identical node models,
+// identical utility curves and identical delivered-message accounting.
+// CI runs this under -race, exercising concurrent wire encode/decode
+// and concurrent RPC round-trips from the node pool.
 func TestTransportBackendEquivalence(t *testing.T) {
 	d := gossipTestDataset(t)
 	cases := map[string]func(*Config){
@@ -59,7 +62,7 @@ func TestTransportBackendEquivalence(t *testing.T) {
 				cfg.Rounds = 4
 				cfg.Workers = workers
 				refSim, refParams, refHR := runWithTransport(t, cfg, "inproc")
-				for _, backend := range []string{"wire", "wire-chunked"} {
+				for _, backend := range []string{"wire", "wire-chunked", "socket"} {
 					sim, params, hr := runWithTransport(t, cfg, backend)
 					for u := range refParams {
 						if !param.Equal(refParams[u], params[u], 0) {
@@ -93,6 +96,7 @@ func TestTransportObserverSequence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { tr.Close() })
 		var log []seen
 		cfg := gossipConfig(d)
 		cfg.Workers = 4
@@ -108,7 +112,7 @@ func TestTransportObserverSequence(t *testing.T) {
 		return log
 	}
 	ref := record("inproc")
-	for _, backend := range []string{"wire", "wire-chunked"} {
+	for _, backend := range []string{"wire", "wire-chunked", "socket"} {
 		got := record(backend)
 		if len(ref) != len(got) {
 			t.Fatalf("%s observation count %d != inproc %d", backend, len(got), len(ref))

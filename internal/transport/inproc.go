@@ -18,8 +18,11 @@ func NewInproc() *Inproc { return &Inproc{} }
 // Name implements Transport.
 func (t *Inproc) Name() string { return "inproc" }
 
+// Close implements Transport; the in-memory backend holds nothing.
+func (t *Inproc) Close() error { return nil }
+
 // Send implements Transport: the receiver observes the sender's set.
-func (t *Inproc) Send(payload *param.Set, _ *param.Buffers) *param.Set {
+func (t *Inproc) Send(_, _ int, payload *param.Set, _ *param.Buffers) *param.Set {
 	t.messages.Add(1)
 	t.bytes.Add(int64(payload.WireBytes()))
 	t.chunks.Add(1)
@@ -27,7 +30,7 @@ func (t *Inproc) Send(payload *param.Set, _ *param.Buffers) *param.Set {
 }
 
 // OpenBroadcast implements Transport.
-func (t *Inproc) OpenBroadcast(src *param.Set) Broadcast {
+func (t *Inproc) OpenBroadcast(_ int, src *param.Set) Broadcast {
 	return &inprocBroadcast{t: t, src: src, wire: int64(src.WireBytes())}
 }
 

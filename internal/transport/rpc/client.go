@@ -1,0 +1,181 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClientClosed is returned by client operations after Close, and by
+// a second Close.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// RemoteError is a failure the server answered with (an MsgError
+// frame), e.g. delivering from a broadcast id that was already closed.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// Client issues protocol round-trips against a Server through a pool
+// of connections — one connection per in-flight request, so concurrent
+// round-trips from a simulator's worker goroutines never interleave
+// frames. Idle connections are reused; a reused connection that fails
+// mid-round-trip (the server restarted, an idle timeout fired) is
+// replaced by a fresh dial once per call, counted in Reconnects.
+type Client struct {
+	network, addr string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+
+	roundTrips atomic.Int64
+	reconnects atomic.Int64
+}
+
+// clientConn is one pooled connection with its buffers and reusable
+// response frame. A connection is owned by exactly one round-trip at a
+// time, so none of this needs locking.
+type clientConn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	resp Frame
+}
+
+// Dial connects a client to a server. The first connection is
+// established eagerly so an unreachable address fails here, not in the
+// middle of a round.
+func Dial(network, addr string) (*Client, error) {
+	c := &Client{network: network, addr: addr}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// RoundTrips returns the number of completed request/response
+// exchanges.
+func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
+
+// Reconnects returns how many times a pooled connection had to be
+// replaced by a fresh dial mid-call.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Close closes every pooled connection. Connections checked out by
+// in-flight round-trips are closed as they are returned. A second
+// Close returns ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.c.Close()
+	}
+	return nil
+}
+
+func (c *Client) dial() (*clientConn, error) {
+	conn, err := net.Dial(c.network, c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s %s: %w", c.network, c.addr, err)
+	}
+	return &clientConn{
+		c:  conn,
+		br: bufio.NewReaderSize(conn, 32<<10),
+		bw: bufio.NewWriterSize(conn, 32<<10),
+	}, nil
+}
+
+// get checks a connection out of the pool, dialing when none is idle.
+// reused reports whether the connection has served a previous call
+// (and may therefore be stale).
+func (c *Client) get() (cn *clientConn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, true, nil
+	}
+	c.mu.Unlock()
+	cn, err = c.dial()
+	return cn, false, err
+}
+
+func (c *Client) put(cn *clientConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.c.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+}
+
+// RoundTrip sends one request frame and hands the response frame to
+// handle while the connection is checked out; the frame (and its
+// payload) is only valid inside handle. An MsgError response is
+// surfaced as *RemoteError without invoking handle. Safe for
+// concurrent use.
+func (c *Client) RoundTrip(typ byte, round, id uint32, payload []byte, handle func(resp *Frame) error) error {
+	for {
+		cn, reused, err := c.get()
+		if err != nil {
+			return err
+		}
+		if err := cn.call(typ, round, id, payload); err != nil {
+			cn.c.Close()
+			if reused {
+				// The pooled connection went stale while idle (the server
+				// restarted, an idle timeout fired) — and after a restart
+				// every idle connection is stale, so keep draining them.
+				// The loop is bounded: each failure discards one pooled
+				// connection, and once the pool is empty get() dials fresh
+				// (reused=false), whose failure is final. Requests are
+				// replayable — the one caveat is MsgBcastOpen, where a
+				// request the server acted on but whose response was lost
+				// leaves an orphaned broadcast behind (see Server.storeBcast).
+				c.reconnects.Add(1)
+				continue
+			}
+			return fmt.Errorf("rpc: round-trip type %d: %w", typ, err)
+		}
+		c.roundTrips.Add(1)
+		if cn.resp.Type == MsgError {
+			err = &RemoteError{Msg: string(cn.resp.Payload)}
+		} else if handle != nil {
+			err = handle(&cn.resp)
+		}
+		c.put(cn)
+		return err
+	}
+}
+
+func (cn *clientConn) call(typ byte, round, id uint32, payload []byte) error {
+	if err := WriteFrame(cn.bw, typ, round, id, payload); err != nil {
+		return err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return err
+	}
+	return ReadFrame(cn.br, &cn.resp)
+}

@@ -1,0 +1,152 @@
+// Package rpc implements the framed request/response protocol behind
+// the socket transport backends (internal/transport "socket" and
+// "socket-tcp"): a Server that relays parameter payloads for many
+// concurrent clients over TCP or Unix-domain sockets, and a Client
+// that issues round-trips against it through a reconnecting connection
+// pool.
+//
+// The package is payload-agnostic: frames carry opaque byte payloads
+// (in practice the param binary codec stream), so the protocol layer
+// never interprets — and can never perturb — parameter values. That is
+// what lets the socket transport satisfy the value-transparency
+// contract of internal/transport bit-for-bit.
+//
+// # Wire format
+//
+// Every message is one frame:
+//
+//	header (13 bytes, little-endian):
+//	  [0]    msg type
+//	  [1:5]  round   (uint32; the protocol round that produced the message)
+//	  [5:9]  id      (uint32; participant id on sends, broadcast id on
+//	                  broadcast frames)
+//	  [9:13] payload length (uint32, at most MaxPayload)
+//	payload (length bytes; the param codec stream, or an error string
+//	         on MsgError frames)
+//
+// Requests are serialized per connection (one in-flight round-trip at
+// a time); concurrency comes from the client's connection pool, one
+// connection per in-flight request.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// Message types. Requests (client → server) pair with the response the
+// server answers them with; MsgError may answer any request.
+const (
+	// MsgSend carries a point-to-point payload (a fed upload or gossip
+	// push); the server relays it back as MsgSendAck — the bytes the
+	// receiver observes.
+	MsgSend byte = iota + 1
+	MsgSendAck
+	// MsgBcastOpen uploads an encoded broadcast source once; the server
+	// stores it and answers MsgBcastOpened with the broadcast id.
+	MsgBcastOpen
+	MsgBcastOpened
+	// MsgBcastGet downloads the stored broadcast payload (one per
+	// receiver); answered by MsgBcastData.
+	MsgBcastGet
+	MsgBcastData
+	// MsgBcastClose releases a stored broadcast; answered by
+	// MsgBcastClosed.
+	MsgBcastClose
+	MsgBcastClosed
+	// MsgError is a server-side failure; the payload is the error text.
+	MsgError
+
+	msgTypeMax = MsgError
+)
+
+// HeaderLen is the fixed frame-header size in bytes.
+const HeaderLen = 13
+
+// MaxPayload bounds a frame's declared payload length (1 GiB — far
+// above any model payload; a header claiming more is malformed).
+const MaxPayload = 1 << 30
+
+// frameChunk is the incremental read granularity of ReadFrame: payload
+// storage grows only as bytes actually arrive, so a truncated stream
+// whose header lies about its length cannot force a large allocation.
+const frameChunk = 64 << 10
+
+// ErrBadFrame tags malformed-frame errors (unknown type, implausible
+// length). Truncation surfaces as io.ErrUnexpectedEOF (or io.EOF when
+// the stream ends cleanly between frames).
+var ErrBadFrame = errors.New("rpc: malformed frame")
+
+// Frame is one decoded protocol message. Payload is reused across
+// ReadFrame calls on the same Frame and is only valid until the next
+// call.
+type Frame struct {
+	Type    byte
+	Round   uint32
+	ID      uint32
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w. The caller is responsible for
+// buffering (the server and client wrap connections in bufio).
+func WriteFrame(w io.Writer, typ byte, round, id uint32, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d exceeds MaxPayload", ErrBadFrame, len(payload))
+	}
+	var hdr [HeaderLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], round)
+	binary.LittleEndian.PutUint32(hdr[5:9], id)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r into f, reusing f.Payload's
+// storage. Malformed headers (unknown type, length beyond MaxPayload)
+// and truncated streams error without over-allocating: payload storage
+// grows in frameChunk steps with the bytes that actually arrive. A
+// clean EOF before any header byte returns io.EOF.
+func ReadFrame(r io.Reader, f *Frame) error {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			return io.EOF
+		}
+		return fmt.Errorf("rpc: frame header: %w", err)
+	}
+	typ := hdr[0]
+	if typ == 0 || typ > msgTypeMax {
+		return fmt.Errorf("%w: unknown message type %d", ErrBadFrame, typ)
+	}
+	length := binary.LittleEndian.Uint32(hdr[9:13])
+	if length > MaxPayload {
+		return fmt.Errorf("%w: payload length %d exceeds MaxPayload", ErrBadFrame, length)
+	}
+	f.Type = typ
+	f.Round = binary.LittleEndian.Uint32(hdr[1:5])
+	f.ID = binary.LittleEndian.Uint32(hdr[5:9])
+	f.Payload = f.Payload[:0]
+	for remaining := int(length); remaining > 0; {
+		c := min(remaining, frameChunk)
+		lo := len(f.Payload)
+		f.Payload = slices.Grow(f.Payload, c)[:lo+c]
+		if _, err := io.ReadFull(r, f.Payload[lo:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("rpc: frame payload: %w", err)
+		}
+		remaining -= c
+	}
+	return nil
+}

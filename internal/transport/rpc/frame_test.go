@@ -1,0 +1,112 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 3*frameChunk+17)}
+	for _, payload := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgSend, 42, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != HeaderLen+len(payload) {
+			t.Fatalf("frame size %d, want %d", buf.Len(), HeaderLen+len(payload))
+		}
+		var f Frame
+		if err := ReadFrame(&buf, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != MsgSend || f.Round != 42 || f.ID != 7 || !bytes.Equal(f.Payload, payload) {
+			t.Fatalf("decoded frame %+v differs from written", f)
+		}
+	}
+}
+
+func TestFrameReuseAcrossReads(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{1}, 1024)
+	WriteFrame(&buf, MsgSend, 1, 1, big)
+	WriteFrame(&buf, MsgBcastGet, 2, 2, []byte("tiny"))
+	var f Frame
+	if err := ReadFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	firstCap := cap(f.Payload)
+	if err := ReadFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Payload) != "tiny" || f.Type != MsgBcastGet {
+		t.Fatalf("second frame decoded wrong: %+v", f)
+	}
+	if cap(f.Payload) < firstCap {
+		t.Fatal("payload storage must be reused, not reallocated smaller")
+	}
+}
+
+func TestReadFrameMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   {1, 2, 3},
+		"zero type":      frameBytes(0, 0, 0, nil),
+		"unknown type":   frameBytes(msgTypeMax+1, 0, 0, nil),
+		"truncated body": frameBytes(MsgSend, 1, 1, []byte("abc"))[:HeaderLen+1],
+	}
+	for name, data := range cases {
+		var f Frame
+		err := ReadFrame(bytes.NewReader(data), &f)
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if name == "empty" && err != io.EOF {
+			t.Fatalf("empty stream must be a clean io.EOF, got %v", err)
+		}
+	}
+	// A header lying about a huge payload must error (truncation)
+	// without allocating anywhere near the claimed size.
+	lying := frameBytes(MsgSend, 1, 1, nil)
+	putLen(lying, MaxPayload-1)
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(lying), &f); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("lying header: %v, want ErrUnexpectedEOF", err)
+	}
+	if cap(f.Payload) > 4*frameChunk {
+		t.Fatalf("lying header allocated %d bytes", cap(f.Payload))
+	}
+	over := frameBytes(MsgSend, 1, 1, nil)
+	putLen(over, MaxPayload+1)
+	if err := ReadFrame(bytes.NewReader(over), &f); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("over-MaxPayload header: %v, want ErrBadFrame", err)
+	}
+	if err := WriteFrame(io.Discard, MsgSend, 0, 0, make([]byte, MaxPayload+1)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized write: %v, want ErrBadFrame", err)
+	}
+	if !strings.Contains(ErrBadFrame.Error(), "rpc") {
+		t.Fatal("ErrBadFrame should identify the package")
+	}
+}
+
+// frameBytes hand-builds an encoded frame (bypassing WriteFrame's
+// validation) so tests can perform malformed-input surgery on it.
+func frameBytes(typ byte, round, id uint32, payload []byte) []byte {
+	b := make([]byte, HeaderLen, HeaderLen+len(payload))
+	b[0] = typ
+	putU32(b[1:5], round)
+	putU32(b[5:9], id)
+	putU32(b[9:13], uint32(len(payload)))
+	return append(b, payload...)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putLen(frame []byte, n uint32) { putU32(frame[9:13], n) }

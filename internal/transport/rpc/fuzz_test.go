@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRead hardens the RPC frame decoder against hostile streams:
+// malformed, truncated or oversized headers must produce an error —
+// never a panic — and must not trigger allocations anywhere near the
+// length an attacker-controlled header claims (payload storage may
+// only grow with bytes that actually arrive). Valid frames must
+// re-encode to the exact input bytes (canonical round-trip).
+func FuzzFrameRead(f *testing.F) {
+	// Seeds: every request/response shape plus classic malformations.
+	f.Add([]byte{})
+	f.Add(frameBytes(MsgSend, 1, 7, []byte("payload")))
+	f.Add(frameBytes(MsgSendAck, 1, 7, []byte("payload")))
+	f.Add(frameBytes(MsgBcastOpen, 3, 0, bytes.Repeat([]byte{0x42}, 300)))
+	f.Add(frameBytes(MsgBcastOpened, 3, 9, nil))
+	f.Add(frameBytes(MsgBcastGet, 3, 9, nil))
+	f.Add(frameBytes(MsgBcastData, 3, 9, []byte{0, 1, 2, 3, 4, 5, 6, 7}))
+	f.Add(frameBytes(MsgBcastClose, 3, 9, nil))
+	f.Add(frameBytes(MsgError, 0, 0, []byte("boom")))
+	f.Add(frameBytes(MsgSend, 1, 1, []byte("abc"))[:HeaderLen+1]) // truncated body
+	f.Add(frameBytes(0, 0, 0, nil))                               // zero type
+	f.Add(frameBytes(msgTypeMax+1, 0, 0, nil))                    // unknown type
+	lying := frameBytes(MsgSend, 1, 1, nil)
+	putLen(lying, MaxPayload-1) // huge claimed length, no body
+	f.Add(lying)
+	over := frameBytes(MsgSend, 1, 1, nil)
+	putLen(over, MaxPayload+1) // beyond the protocol bound
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		err := ReadFrame(bytes.NewReader(data), &fr)
+		if err != nil {
+			// Error path: storage growth must be bounded by the bytes that
+			// arrived, not by the header's claim (frameChunk slack for the
+			// last partial chunk, doubled for append's growth policy).
+			if cap(fr.Payload) > 2*(len(data)+frameChunk) {
+				t.Fatalf("decoder allocated %d bytes for a %d-byte malformed input",
+					cap(fr.Payload), len(data))
+			}
+			return
+		}
+		if fr.Type == 0 || fr.Type > msgTypeMax {
+			t.Fatalf("accepted frame with invalid type %d", fr.Type)
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("accepted over-long payload %d", len(fr.Payload))
+		}
+		// Canonical round-trip: re-encoding must reproduce the consumed
+		// prefix of the input exactly.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr.Type, fr.Round, fr.ID, fr.Payload); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("re-encoded frame differs from input prefix")
+		}
+		// And decoding the re-encoding must agree with the first decode.
+		var fr2 Frame
+		if err := ReadFrame(bytes.NewReader(out.Bytes()), &fr2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Round != fr.Round || fr2.ID != fr.ID ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatal("re-decode disagrees with original decode")
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerClosed is returned by Server.Close once the server has
+// already been shut down, and tags late conn errors observed during
+// shutdown.
+var ErrServerClosed = errors.New("rpc: server closed")
+
+// Server serves the socket transport protocol: it relays MsgSend
+// payloads back to their sender's process (the bytes the receiving
+// participant observes) and stores broadcast payloads for fan-out
+// download. Each accepted connection is served by its own goroutine;
+// broadcast state is shared across connections, so a client may open a
+// broadcast on one pooled connection and deliver from another.
+//
+// The server holds no protocol state beyond open broadcasts and never
+// reorders or reinterprets payload bytes, preserving the transport
+// determinism contract across process boundaries.
+type Server struct {
+	ln      net.Listener
+	network string
+
+	// ErrFunc, when non-nil, observes per-connection errors (a client
+	// that disconnected mid-frame, a protocol violation). Set it between
+	// Listen and Start; it may be called concurrently. Clean EOFs
+	// between frames are not errors.
+	ErrFunc func(error)
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	bcasts  map[uint32][]byte
+	nextID  uint32
+	closed  bool
+	started bool
+
+	connErrs atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// Listen binds a server to the address without accepting connections
+// yet (so tests and callers can install ErrFunc first). network is
+// "tcp" or "unix"; a busy address surfaces as a wrapped net error
+// (errors.Is(err, syscall.EADDRINUSE) on POSIX hosts).
+func Listen(network, addr string) (*Server, error) {
+	switch network {
+	case "tcp", "unix":
+	default:
+		return nil, fmt.Errorf("rpc: unsupported network %q (want tcp or unix)", network)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s %s: %w", network, addr, err)
+	}
+	return &Server{
+		ln:      ln,
+		network: network,
+		conns:   make(map[net.Conn]struct{}),
+		bcasts:  make(map[uint32][]byte),
+	}, nil
+}
+
+// Serve is Listen followed by Start.
+func Serve(network, addr string) (*Server, error) {
+	s, err := Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	return s, nil
+}
+
+// Start launches the accept loop. It is a no-op after the first call.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Addr returns the bound listen address (the socket path for unix, the
+// host:port — with the kernel-assigned port resolved — for tcp).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Network returns the listener's network ("tcp" or "unix").
+func (s *Server) Network() string { return s.network }
+
+// ConnErrors returns the number of connection errors observed so far
+// (clients that vanished mid-frame, protocol violations).
+func (s *Server) ConnErrors() int64 { return s.connErrs.Load() }
+
+// Close shuts the server down: the listener closes (unlinking the
+// socket file on unix), every open connection is torn down, and all
+// handler goroutines are joined. A second Close returns
+// ErrServerClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // shutdown; per-conn handlers keep draining
+			}
+			// Transient accept failure (EMFILE under a dial burst,
+			// ECONNABORTED): report it and keep accepting with a capped
+			// backoff — a long-running worker must not silently stop
+			// taking new connections while looking healthy.
+			s.connError(fmt.Errorf("rpc: accept: %w", err))
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	c.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// connError records a per-connection failure without taking the server
+// down: one misbehaving or vanished client must never hang or corrupt
+// the rounds of the others.
+func (s *Server) connError(err error) {
+	s.connErrs.Add(1)
+	if s.ErrFunc != nil {
+		s.ErrFunc(err)
+	}
+}
+
+// serveConn answers one connection's requests until it closes. The
+// per-conn Frame is reused across requests, so steady-state serving
+// allocates only when a payload outgrows every previous one.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(c)
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	var f Frame
+	for {
+		if err := ReadFrame(br, &f); err != nil {
+			if err == io.EOF {
+				return // clean disconnect between frames
+			}
+			s.connError(fmt.Errorf("rpc: conn %s: %w", c.RemoteAddr(), err))
+			return
+		}
+		var err error
+		switch f.Type {
+		case MsgSend:
+			err = WriteFrame(bw, MsgSendAck, f.Round, f.ID, f.Payload)
+		case MsgBcastOpen:
+			id := s.storeBcast(f.Payload)
+			err = WriteFrame(bw, MsgBcastOpened, f.Round, id, nil)
+		case MsgBcastGet:
+			data, ok := s.loadBcast(f.ID)
+			if !ok {
+				err = WriteFrame(bw, MsgError, f.Round, f.ID,
+					fmt.Appendf(nil, "unknown broadcast id %d", f.ID))
+				break
+			}
+			err = WriteFrame(bw, MsgBcastData, f.Round, f.ID, data)
+		case MsgBcastClose:
+			s.dropBcast(f.ID)
+			err = WriteFrame(bw, MsgBcastClosed, f.Round, f.ID, nil)
+		default:
+			// A response type arriving as a request is a protocol
+			// violation; answer and drop the connection.
+			s.connError(fmt.Errorf("rpc: conn %s: %w: unexpected request type %d",
+				c.RemoteAddr(), ErrBadFrame, f.Type))
+			WriteFrame(bw, MsgError, f.Round, f.ID,
+				fmt.Appendf(nil, "unexpected request type %d", f.Type))
+			bw.Flush()
+			return
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			s.connError(fmt.Errorf("rpc: conn %s: write response: %w", c.RemoteAddr(), err))
+			return
+		}
+	}
+}
+
+// storeBcast copies the payload (the caller's frame buffer is reused)
+// and registers it under a fresh id. A broadcast whose MsgBcastOpened
+// response never reached the client (connection lost mid-exchange, the
+// open then replayed on a fresh connection) is orphaned until server
+// shutdown — bounded by one payload per reconnect event, and workers
+// are per-run in the intended deployment.
+func (s *Server) storeBcast(payload []byte) uint32 {
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.bcasts[id] = data
+	s.mu.Unlock()
+	return id
+}
+
+func (s *Server) loadBcast(id uint32) ([]byte, bool) {
+	s.mu.Lock()
+	data, ok := s.bcasts[id]
+	s.mu.Unlock()
+	return data, ok
+}
+
+func (s *Server) dropBcast(id uint32) {
+	s.mu.Lock()
+	delete(s.bcasts, id)
+	s.mu.Unlock()
+}

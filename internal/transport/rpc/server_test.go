@@ -1,0 +1,281 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func testClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cl, err := Dial(srv.Network(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestSendEcho(t *testing.T) {
+	srv := testServer(t)
+	cl := testClient(t, srv)
+	payload := bytes.Repeat([]byte{7, 1}, 5000)
+	err := cl.RoundTrip(MsgSend, 9, 4, payload, func(f *Frame) error {
+		if f.Type != MsgSendAck || f.Round != 9 || f.ID != 4 {
+			t.Fatalf("ack header %+v", f)
+		}
+		if !bytes.Equal(f.Payload, payload) {
+			t.Fatal("echoed payload differs")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.RoundTrips() != 1 {
+		t.Fatalf("round-trips = %d", cl.RoundTrips())
+	}
+}
+
+func TestBroadcastLifecycle(t *testing.T) {
+	srv := testServer(t)
+	cl := testClient(t, srv)
+	payload := []byte("the global model")
+	var id uint32
+	if err := cl.RoundTrip(MsgBcastOpen, 1, 0, payload, func(f *Frame) error {
+		id = f.ID
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent delivers across pooled connections.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				err := cl.RoundTrip(MsgBcastGet, 1, id, nil, func(f *Frame) error {
+					if f.Type != MsgBcastData || !bytes.Equal(f.Payload, payload) {
+						panic("broadcast data corrupted")
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := cl.RoundTrip(MsgBcastClose, 1, id, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Delivering from a closed broadcast is a remote error, not a hang.
+	err := cl.RoundTrip(MsgBcastGet, 1, id, nil, func(*Frame) error { return nil })
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("get after close = %v, want *RemoteError", err)
+	}
+}
+
+// A client that vanishes mid-frame must be recorded as a typed conn
+// error and must not wedge the server: other clients keep completing
+// round-trips.
+func TestClientDisconnectMidRound(t *testing.T) {
+	srv2, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	var mu sync.Mutex
+	var seen []error
+	srv2.ErrFunc = func(err error) {
+		mu.Lock()
+		seen = append(seen, err)
+		mu.Unlock()
+	}
+	srv2.Start()
+
+	raw, err := net.Dial("tcp", srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame: a header promising 100 bytes, then hang up.
+	raw.Write(frameBytes(MsgSend, 1, 1, make([]byte, 100))[:HeaderLen+10])
+	raw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv2.ConnErrors() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never observed the mid-frame disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	got := seen[len(seen)-1]
+	mu.Unlock()
+	if got == nil {
+		t.Fatal("ErrFunc got nil error")
+	}
+	// The round must not hang for anyone else.
+	cl := testClient(t, srv2)
+	if err := cl.RoundTrip(MsgSend, 2, 2, []byte("ok"), nil); err != nil {
+		t.Fatalf("healthy client blocked after another's disconnect: %v", err)
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	srv, err := Serve("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestClientDoubleClose(t *testing.T) {
+	srv := testServer(t)
+	cl, err := Dial(srv.Network(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := cl.Close(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("second Close = %v, want ErrClientClosed", err)
+	}
+	if err := cl.RoundTrip(MsgSend, 0, 0, nil, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("RoundTrip after Close = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestListenAddressInUse(t *testing.T) {
+	srv := testServer(t)
+	if _, err := Listen("tcp", srv.Addr()); !errors.Is(err, syscall.EADDRINUSE) {
+		t.Fatalf("Listen on a bound port = %v, want EADDRINUSE", err)
+	}
+	if _, err := Listen("carrier-pigeon", "x"); err == nil {
+		t.Fatal("unknown network must error")
+	}
+}
+
+// A pooled connection severed while idle must be replaced by a fresh
+// dial — counted in Reconnects — without surfacing an error.
+func TestReconnectAfterIdleDrop(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "w.sock")
+	srv, err := Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.RoundTrip(MsgSend, 1, 1, []byte("warm"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bounce the server on the same address: the pooled conn is stale.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err = Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := cl.RoundTrip(MsgSend, 2, 2, []byte("retry"), nil); err != nil {
+		t.Fatalf("round-trip after server bounce: %v", err)
+	}
+	if cl.Reconnects() == 0 {
+		t.Fatal("stale-conn retry must be counted in Reconnects")
+	}
+}
+
+// After a server restart every pooled connection is stale; a single
+// round-trip must drain them all and succeed on a fresh dial instead
+// of giving up after the first stale one.
+func TestReconnectDrainsWholeStalePool(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "w.sock")
+	srv, err := Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Grow the pool to 3 connections by holding 3 round-trips in flight
+	// at once (a connection stays checked out while handle runs).
+	const inFlight = 3
+	var barrier, done sync.WaitGroup
+	barrier.Add(inFlight)
+	done.Add(inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			defer done.Done()
+			err := cl.RoundTrip(MsgSend, 1, 1, []byte("grow"), func(*Frame) error {
+				barrier.Done()
+				barrier.Wait()
+				return nil
+			})
+			if err != nil {
+				panic(err)
+			}
+		}()
+	}
+	done.Wait()
+	// Bounce the server: all pooled connections are now stale.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err = Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := cl.RoundTrip(MsgSend, 2, 2, []byte("drain"), nil); err != nil {
+		t.Fatalf("round-trip after bounce with %d stale conns: %v", inFlight, err)
+	}
+	if got := cl.Reconnects(); got < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", got)
+	}
+}
+
+// The unix listener must unlink its socket file on Close so the same
+// path can be served again (the loopback transport relies on this).
+func TestUnixSocketUnlinkedOnClose(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "w.sock")
+	for i := 0; i < 2; i++ {
+		srv, err := Serve("unix", sock)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d close: %v", i, err)
+		}
+	}
+}

@@ -5,33 +5,44 @@
 // engine plugs in — the simulators speak only to the Transport
 // interface, never to each other's memory.
 //
-// Two backends ship today:
+// Four backends ship today:
 //
 //   - Inproc passes payload pointers through unchanged — the
 //     historical in-memory behaviour, byte-identical to the
 //     pre-transport simulators.
 //   - Wire round-trips every payload through the binary codec
 //     (param.Set WriteTo → pooled byte buffers → DecodeFrom),
-//     optionally reading across fixed-size chunk frames. It proves
-//     that a deployment which actually serializes its traffic computes
-//     exactly the same models: the cross-backend equivalence suites in
-//     internal/fed and internal/gossip hold it to tolerance 0.
+//     optionally reading across fixed-size chunk frames ("wire" /
+//     "wire-chunked"). It proves that a deployment which actually
+//     serializes its traffic computes exactly the same models.
+//   - Socket ("socket" over a Unix-domain socket, "socket-tcp" over
+//     TCP) pushes every payload through the framed RPC protocol of
+//     internal/transport/rpc against a real socket server: each Send
+//     is a request/response round-trip carrying the codec bytes, each
+//     broadcast is uploaded once and downloaded per receiver.
+//     transport.New spins the server up in-process over a loopback
+//     socket (the deterministic test/bench mode); transport.Dial
+//     connects to an external `ciaworker` process so a round spans OS
+//     process boundaries. Results remain byte-identical — the
+//     cross-backend equivalence suites in internal/fed and
+//     internal/gossip hold every backend to tolerance 0.
 //
 // # Contract
 //
 // Ownership: Send consumes its payload — the caller must not touch it
-// afterwards. Inproc returns the same set; Wire recycles the payload
-// into the caller's param.Buffers pool and returns a decoded copy
-// drawn from that pool. Either way the caller owns the returned set
-// and recycles it (pool.Put) once the receiver has consumed it.
-// Broadcast handles borrow src only until Close.
+// afterwards. Inproc returns the same set; the serializing backends
+// recycle the payload into the caller's param.Buffers pool and return
+// a decoded copy drawn from that pool. Either way the caller owns the
+// returned set and recycles it (pool.Put) once the receiver has
+// consumed it. Broadcast handles borrow src only until Close.
 //
 // Marshalling time: Send and Broadcast.Deliver are called from inside
-// the simulators' parallel regions (parx.ForEach), so the wire
-// backend's encode/decode cost is spread across the worker pool.
-// OpenBroadcast encodes once, before the parallel region, and Deliver
-// only decodes — mirroring a real server that serializes the global
-// model once per round and fans the bytes out.
+// the simulators' parallel regions (parx.ForEach), so the serializing
+// backends' encode/decode (and socket round-trip) cost is spread
+// across the worker pool. OpenBroadcast encodes — and, on socket,
+// uploads — once, before the parallel region, and Deliver only
+// downloads/decodes, mirroring a real server that serializes the
+// global model once per round and fans the bytes out.
 //
 // Determinism: implementations must be value-transparent (the received
 // set is bit-identical to the sent one — float64 survives the codec
@@ -42,8 +53,12 @@
 // sequentially between parallel phases, indexed by item, per the
 // internal/parx discipline).
 //
-// Stats are accumulated per transport instance, so instances must not
-// be shared between simulations.
+// Lifecycle: the creator of a transport owns it — the simulators never
+// close the instance they are configured with. Close releases backend
+// resources (the socket backends' connections, and the loopback mode's
+// in-process server); Stats stays readable afterwards. Stats are
+// accumulated per transport instance, so instances must not be shared
+// between simulations.
 package transport
 
 import (
@@ -64,30 +79,45 @@ type Stats struct {
 	BroadcastMessages int64
 	BroadcastBytes    int64
 	// Chunks counts wire framing units (equal to Messages +
-	// BroadcastMessages for unchunked backends).
+	// BroadcastMessages for unchunked backends, including socket, whose
+	// RPC frames each carry a whole payload).
 	Chunks int64
+	// RoundTrips counts completed RPC request/response exchanges and
+	// Reconnects counts pooled connections replaced by a fresh dial
+	// mid-call. Both stay 0 on the in-process backends.
+	RoundTrips int64
+	Reconnects int64
 }
 
 // Transport moves parameter sets between protocol participants. See
-// the package documentation for the ownership, marshalling and
-// determinism contract.
+// the package documentation for the ownership, marshalling,
+// determinism and lifecycle contract.
 type Transport interface {
-	// Name identifies the backend ("inproc", "wire", ...).
+	// Name identifies the backend ("inproc", "wire", "socket", ...).
 	Name() string
 
-	// Send transmits a point-to-point payload, returning the set the
-	// receiver observes. It consumes payload and may draw the returned
-	// set from pool; the caller owns the result and recycles it into
-	// the same pool when the receiver is done. Safe for concurrent use.
-	Send(payload *param.Set, pool *param.Buffers) *param.Set
+	// Send transmits a point-to-point payload from the given
+	// participant in the given round, returning the set the receiver
+	// observes. It consumes payload and may draw the returned set from
+	// pool; the caller owns the result and recycles it into the same
+	// pool when the receiver is done. Safe for concurrent use.
+	Send(round, from int, payload *param.Set, pool *param.Buffers) *param.Set
 
-	// OpenBroadcast prepares src for fan-out delivery to many
-	// receivers. src is borrowed until Close and must not be mutated
-	// while the broadcast is open. Deliver may be called concurrently.
-	OpenBroadcast(src *param.Set) Broadcast
+	// OpenBroadcast prepares src for fan-out delivery to many receivers
+	// in the given round. src is borrowed until Close and must not be
+	// mutated while the broadcast is open. Deliver may be called
+	// concurrently.
+	OpenBroadcast(round int, src *param.Set) Broadcast
 
 	// Stats returns the traffic accumulated by this instance.
 	Stats() Stats
+
+	// Close releases the backend's resources (connections, the loopback
+	// server). The transport must not be used for transfers afterwards;
+	// Stats remains readable. The socket backends return a typed error
+	// (rpc.ErrClientClosed) on a second Close; the in-memory backends
+	// hold no resources and their Close is a nil-returning no-op.
+	Close() error
 }
 
 // Broadcast is one message delivered to many receivers.
@@ -118,12 +148,34 @@ func (c *counters) Stats() Stats {
 
 // Names lists the backend names New accepts (the empty string selects
 // inproc).
-func Names() []string { return []string{"inproc", "wire", "wire-chunked"} }
+func Names() []string {
+	return []string{"inproc", "wire", "wire-chunked", "socket", "socket-tcp"}
+}
+
+// Known reports whether name selects a backend (the empty string
+// counts: it selects inproc). Use it to validate configuration without
+// instantiating anything — New on a socket backend starts a loopback
+// server.
+func Known(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // New builds a fresh transport instance for a backend name: "inproc"
-// (or ""), "wire", or "wire-chunked" (wire with DefaultChunkBytes
-// framing). Each call returns an independent instance with its own
-// stats.
+// (or ""), "wire", "wire-chunked" (wire with DefaultChunkBytes
+// framing), "socket" (RPC over an in-process loopback Unix-domain
+// socket server) or "socket-tcp" (the same over loopback TCP). Each
+// call returns an independent instance with its own stats; the caller
+// owns the instance and Closes it when the simulation is done. To
+// reach an external worker process instead of a loopback server, use
+// Dial.
 func New(name string) (Transport, error) {
 	switch name {
 	case "", "inproc":
@@ -132,6 +184,24 @@ func New(name string) (Transport, error) {
 		return NewWire(), nil
 	case "wire-chunked":
 		return NewChunkedWire(DefaultChunkBytes), nil
+	case "socket":
+		return newLoopbackSocket("unix")
+	case "socket-tcp":
+		return newLoopbackSocket("tcp")
 	}
 	return nil, fmt.Errorf("transport: unknown backend %q (have %v)", name, Names())
+}
+
+// Dial connects a socket backend to an external RPC worker (a
+// `ciaworker` process) instead of a loopback server: "socket" dials a
+// Unix-domain socket path, "socket-tcp" a TCP host:port. The in-process
+// backends have no address to dial and are rejected.
+func Dial(name, addr string) (Transport, error) {
+	switch name {
+	case "socket":
+		return dialSocket("unix", addr)
+	case "socket-tcp":
+		return dialSocket("tcp", addr)
+	}
+	return nil, fmt.Errorf("transport: backend %q cannot dial an address (want socket or socket-tcp)", name)
 }

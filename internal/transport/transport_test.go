@@ -42,9 +42,18 @@ func TestNewBackends(t *testing.T) {
 		if tr.Name() != want {
 			t.Fatalf("New(%q).Name() = %q", name, tr.Name())
 		}
+		if !Known(name) {
+			t.Fatalf("Known(%q) = false for a New-able backend", name)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("New(%q).Close(): %v", name, err)
+		}
 	}
 	if _, err := New("carrier-pigeon"); err == nil {
 		t.Fatal("unknown backend must error")
+	}
+	if Known("carrier-pigeon") {
+		t.Fatal("Known must reject unknown backends")
 	}
 }
 
@@ -52,7 +61,7 @@ func TestInprocSendPassesPointerThrough(t *testing.T) {
 	tr := NewInproc()
 	var pool param.Buffers
 	payload := testSet(1)
-	got := tr.Send(payload, &pool)
+	got := tr.Send(0, 0, payload, &pool)
 	if got != payload {
 		t.Fatal("inproc Send must return the same set")
 	}
@@ -68,7 +77,7 @@ func TestWireSendRoundTripsValues(t *testing.T) {
 			var pool param.Buffers
 			payload := testSet(1)
 			want := payload.Clone()
-			got := tr.Send(payload, &pool)
+			got := tr.Send(0, 0, payload, &pool)
 			if got == payload {
 				t.Fatal("wire Send must not return the sender's set")
 			}
@@ -89,7 +98,7 @@ func TestWireSendRoundTripsValues(t *testing.T) {
 func TestWireSendDoesNotAlias(t *testing.T) {
 	tr := NewWire()
 	payload := testSet(1)
-	got := tr.Send(payload, nil) // nil pool: Send falls back to allocation
+	got := tr.Send(0, 0, payload, nil) // nil pool: Send falls back to allocation
 	payload.Get("item_emb")[0] = 1e9
 	if got.Get("item_emb")[0] == 1e9 {
 		t.Fatal("received set aliases sender storage")
@@ -104,7 +113,7 @@ func TestChunkedWireAccounting(t *testing.T) {
 	var pool param.Buffers
 	payload := testSet(1)
 	wire := int64(payload.WireBytes())
-	got := tr.Send(payload, &pool)
+	got := tr.Send(0, 0, payload, &pool)
 	if !param.Equal(testSet(1), got, 0) {
 		t.Fatal("chunked send changed values")
 	}
@@ -125,8 +134,9 @@ func TestBroadcastDelivers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer tr.Close()
 			src := testSet(2)
-			bc := tr.OpenBroadcast(src)
+			bc := tr.OpenBroadcast(0, src)
 			dsts := []*param.Set{testSet(0), testSet(-1), testSet(7)}
 			for _, dst := range dsts {
 				bc.Deliver(dst)
@@ -157,10 +167,11 @@ func TestBroadcastDeliverPreservesAliasing(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer tr.Close()
 		src := testSet(3)
 		dst := testSet(0)
 		backing := dst.Get("item_emb")
-		bc := tr.OpenBroadcast(src)
+		bc := tr.OpenBroadcast(0, src)
 		bc.Deliver(dst)
 		bc.Close()
 		if &backing[0] != &dst.Get("item_emb")[0] {
@@ -181,9 +192,10 @@ func TestConcurrentUse(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer tr.Close()
 			var pool param.Buffers
 			src := testSet(5)
-			bc := tr.OpenBroadcast(src)
+			bc := tr.OpenBroadcast(0, src)
 			const goroutines = 8
 			const perG = 20
 			var wg sync.WaitGroup
@@ -194,7 +206,7 @@ func TestConcurrentUse(t *testing.T) {
 					dst := testSet(0)
 					for i := 0; i < perG; i++ {
 						bc.Deliver(dst)
-						got := tr.Send(pool.Clone(src), &pool)
+						got := tr.Send(0, 0, pool.Clone(src), &pool)
 						if !param.Equal(src, got, 0) || !param.Equal(src, dst, 0) {
 							panic("concurrent transfer corrupted values")
 						}
@@ -222,10 +234,10 @@ func TestWireSendReusesPool(t *testing.T) {
 	var pool param.Buffers
 	// Warm: first sends populate the free-list.
 	for i := 0; i < 4; i++ {
-		pool.Put(tr.Send(pool.Clone(testSet(1)), &pool))
+		pool.Put(tr.Send(0, 0, pool.Clone(testSet(1)), &pool))
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		pool.Put(tr.Send(pool.Clone(testSet(1)), &pool))
+		pool.Put(tr.Send(0, 0, pool.Clone(testSet(1)), &pool))
 	})
 	// testSet itself allocates ~10; the transfer should add ~0. Allow
 	// slack for pool misses under GC.

@@ -55,6 +55,10 @@ func (t *Wire) Name() string {
 	return "wire"
 }
 
+// Close implements Transport; the wire backend's pooled buffers need
+// no teardown.
+func (t *Wire) Close() error { return nil }
+
 func (t *Wire) getBuf() *bytes.Buffer {
 	if b, ok := t.bufs.Get().(*bytes.Buffer); ok {
 		b.Reset()
@@ -93,7 +97,7 @@ func (t *Wire) frames(n int64) int64 {
 
 // Send implements Transport: marshal, recycle the sender's set, and
 // unmarshal into a pool-recycled set of the same structure.
-func (t *Wire) Send(payload *param.Set, pool *param.Buffers) *param.Set {
+func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) *param.Set {
 	buf, n := t.encode(payload)
 	recv := pool.GetShaped(payload)
 	if recv == nil {
@@ -112,7 +116,7 @@ func (t *Wire) Send(payload *param.Set, pool *param.Buffers) *param.Set {
 
 // OpenBroadcast implements Transport: encode src once; every Deliver
 // decodes the shared bytes into its receiver's set.
-func (t *Wire) OpenBroadcast(src *param.Set) Broadcast {
+func (t *Wire) OpenBroadcast(_ int, src *param.Set) Broadcast {
 	buf, n := t.encode(src)
 	return &wireBroadcast{t: t, buf: buf, n: n}
 }

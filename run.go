@@ -81,6 +81,13 @@ const (
 	// TransportWireChunked is TransportWire with fixed-size frame
 	// reassembly on the receive path.
 	TransportWireChunked TransportKind = "wire-chunked"
+	// TransportSocket pushes every transfer through the framed RPC
+	// protocol over a Unix-domain socket: against an in-process
+	// loopback server by default, or an external ciaworker process
+	// when TransportAddr is set — the round then spans OS processes.
+	TransportSocket TransportKind = "socket"
+	// TransportSocketTCP is TransportSocket over TCP.
+	TransportSocketTCP TransportKind = "socket-tcp"
 )
 
 // RunConfig describes one end-to-end experiment: train a collaborative
@@ -97,6 +104,11 @@ type RunConfig struct {
 	Defense Defense
 	// Transport defaults to TransportInproc.
 	Transport TransportKind
+	// TransportAddr dials an external RPC worker (a running ciaworker
+	// process) at this address instead of a loopback server: a socket
+	// path for TransportSocket, a host:port for TransportSocketTCP.
+	// Requires one of the socket transports.
+	TransportAddr string
 
 	// Rounds defaults to 25 for FL and 80 for gossip.
 	Rounds int
@@ -184,6 +196,7 @@ func (c *RunConfig) spec() experiments.Spec {
 	}
 	s.Seed = c.Seed
 	s.Transport = string(c.Transport)
+	s.TransportAddr = c.TransportAddr
 	return s
 }
 
@@ -223,9 +236,13 @@ func (c *RunConfig) normalize() error {
 		return fmt.Errorf("ciarec: DropoutProb %v out of [0,1)", c.DropoutProb)
 	}
 	switch c.Transport {
-	case "", TransportInproc, TransportWire, TransportWireChunked:
+	case "", TransportInproc, TransportWire, TransportWireChunked,
+		TransportSocket, TransportSocketTCP:
 	default:
 		return fmt.Errorf("ciarec: unknown transport %q", c.Transport)
+	}
+	if c.TransportAddr != "" && c.Transport != TransportSocket && c.Transport != TransportSocketTCP {
+		return fmt.Errorf("ciarec: TransportAddr requires a socket transport, got %q", c.Transport)
 	}
 	return nil
 }
