@@ -2,7 +2,7 @@ GO ?= go
 # benchstat needs several samples per benchmark to compute intervals.
 BENCH_COUNT ?= 6
 
-.PHONY: all build vet test race fuzz bench bench-tables bench-compare
+.PHONY: all build vet test race fuzz chaos bench bench-tables bench-compare
 
 all: vet build test
 
@@ -24,6 +24,17 @@ race:
 fuzz:
 	$(GO) test -fuzz='^FuzzParamSetReadFrom$$' -fuzztime=30s -run='^$$' ./internal/param/
 	$(GO) test -fuzz='^FuzzFrameRead$$' -fuzztime=30s -run='^$$' ./internal/transport/rpc/
+
+# Fault-injection suite under the race detector: the deterministic
+# chaos equivalence runs (same (seed, plan) → byte-identical output on
+# every backend and worker count), the RPC lifecycle/retry races
+# (concurrent Close vs in-flight round-trips, server Close mid-
+# broadcast, graceful drain), and the golden chaos + relay-restart
+# acceptance checks. See RESILIENCE.md.
+chaos:
+	$(GO) test -race -timeout=20m \
+		-run='Faulty|Fault|Resilience|Straggler|Quorum|Blackout|DeliverFailure|UploadLoss|InactivePlan|Retry|Backoff|Reconnect|Timeout|Shutdown|Close|Eviction|Idle|Unreachable|GivesUp|SilentServer|RelayRestart' \
+		./internal/transport/ ./internal/transport/rpc/ ./internal/fed/ ./internal/gossip/ ./internal/experiments/
 
 # Microbenchmarks of the round engine and the parameter pipeline,
 # emitted in benchstat-comparable form. Compare two trees with e.g.

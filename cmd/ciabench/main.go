@@ -189,8 +189,12 @@ func main() {
 		paper  = flag.Bool("paper", false, "paper-scale datasets and rounds (slow, memory-hungry)")
 		seed   = flag.Uint64("seed", 1, "master seed")
 		rounds = flag.Int("rounds", 0, "override FL round count")
-		trans  = flag.String("transport", "", "round transport backend: "+strings.Join(transport.Names(), " | ")+" (default inproc; socket backends spin up a loopback server unless -addr is given)")
+		trans  = flag.String("transport", "", "round transport backend: "+strings.Join(transport.Names(), " | ")+", optionally behind the fault-injecting prefix \"faulty:\" (default inproc; socket backends spin up a loopback server unless -addr is given)")
 		addr   = flag.String("addr", "", "external ciaworker address for the socket backends: a socket path (socket) or host:port (socket-tcp)")
+		faults = flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=7,drop=0.05,send-loss=0.05,slow=0.1,slow-latency=500ms' or 'default'; wraps the transport in the fault injector and drives straggler latencies")
+		retry  = flag.String("retry", "", "socket RPC retry policy, e.g. 'attempts=6,backoff=5ms,timeout=2s' (empty keeps the defaults)")
+		quorum = flag.Float64("quorum", 0, "minimum fraction of sampled clients whose uploads must arrive in time for an FL round to aggregate; below it the round keeps the previous global model (0 disables)")
+		sdl    = flag.Duration("straggler-deadline", 0, "FL per-round upload deadline: uploads whose fault-plan latency exceeds it are observed by the adversary but excluded from aggregation (0 disables)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -208,16 +212,38 @@ func main() {
 		spec.Rounds = *rounds
 	}
 	if !transport.Known(*trans) {
-		fmt.Fprintf(os.Stderr, "ciabench: unknown transport %q (have %s)\n",
-			*trans, strings.Join(transport.Names(), ", "))
+		fmt.Fprintf(os.Stderr, "ciabench: unknown transport %q (have %s, optionally behind %q)\n",
+			*trans, strings.Join(transport.Names(), ", "), transport.FaultyPrefix)
 		os.Exit(2)
 	}
-	if *addr != "" && *trans != "socket" && *trans != "socket-tcp" {
+	if base := strings.TrimPrefix(*trans, transport.FaultyPrefix); *addr != "" && base != "socket" && base != "socket-tcp" {
 		fmt.Fprintf(os.Stderr, "ciabench: -addr requires -transport socket or socket-tcp\n")
 		os.Exit(2)
 	}
 	spec.Transport = *trans
 	spec.TransportAddr = *addr
+	if *faults != "" {
+		plan, err := transport.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		spec.FaultPlan = &plan
+	}
+	if *retry != "" {
+		policy, err := transport.ParseRetryPolicy(*retry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -retry: %v\n", err)
+			os.Exit(2)
+		}
+		spec.Retry = &policy
+	}
+	if *quorum < 0 || *quorum > 1 {
+		fmt.Fprintf(os.Stderr, "ciabench: -quorum %v out of [0,1]\n", *quorum)
+		os.Exit(2)
+	}
+	spec.Quorum = *quorum
+	spec.StragglerDeadline = *sdl
 
 	ids := experimentIDs()
 	if *exp != "all" {

@@ -14,7 +14,16 @@
 //
 //	ciabench -exp table2 -transport socket -addr /tmp/cia.sock
 //
-// The worker serves until SIGINT/SIGTERM.
+// The worker serves until SIGINT/SIGTERM, then drains gracefully:
+// the listener closes immediately (no new connections), in-flight
+// RPCs get -grace to finish, and the process exits 0. A second signal
+// aborts the drain.
+//
+// With -ready <path>, the worker writes "<network> <address>\n" to
+// path (atomically, via rename) once the listener is accepting. With
+// -addr of "auto" (unix) or a :0 port (tcp) the kernel picks the
+// address, so supervisors can avoid collisions by reading it back
+// from the ready file.
 package main
 
 import (
@@ -22,34 +31,81 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/transport/rpc"
 )
 
+// writeReady atomically publishes the worker's bound address.
+func writeReady(path, network, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(network+" "+addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func main() {
 	var (
 		network = flag.String("network", "unix", "socket family: unix | tcp")
-		addr    = flag.String("addr", "", "listen address: a socket path (unix) or host:port (tcp)")
+		addr    = flag.String("addr", "", "listen address: a socket path (unix, or 'auto' for a temp path) or host:port (tcp; port 0 lets the kernel pick)")
+		ready   = flag.String("ready", "", "file to write '<network> <address>' to once the listener is accepting (written atomically)")
+		grace   = flag.Duration("grace", 5*time.Second, "drain window for in-flight RPCs after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "ciaworker: -addr is required")
 		os.Exit(2)
 	}
-	srv, err := rpc.Serve(*network, *addr)
+	listen := *addr
+	var tmpDir string
+	if *network == "unix" && listen == "auto" {
+		d, err := os.MkdirTemp("", "ciaworker-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciaworker: %v\n", err)
+			os.Exit(1)
+		}
+		tmpDir = d
+		listen = filepath.Join(d, "rpc.sock")
+	}
+	srv, err := rpc.Serve(*network, listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ciaworker: %v\n", err)
 		os.Exit(1)
 	}
+	if *ready != "" {
+		if err := writeReady(*ready, srv.Network(), srv.Addr()); err != nil {
+			fmt.Fprintf(os.Stderr, "ciaworker: ready file: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("ciaworker: serving %s %s\n", srv.Network(), srv.Addr())
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "ciaworker: close: %v\n", err)
+
+	// Graceful drain: stop accepting, let in-flight RPCs finish within
+	// the grace window, then exit 0. A second signal aborts the drain.
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(*grace) }()
+	select {
+	case err = <-done:
+	case <-sig:
+		if tmpDir != "" {
+			os.RemoveAll(tmpDir)
+		}
+		os.Exit(130)
+	}
+	if tmpDir != "" {
+		os.RemoveAll(tmpDir)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciaworker: shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("ciaworker: shut down (%d conn errors observed)\n", srv.ConnErrors())
+	fmt.Printf("ciaworker: drained and shut down (%d conn errors observed)\n", srv.ConnErrors())
 }

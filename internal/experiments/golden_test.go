@@ -94,6 +94,75 @@ func goldenFedRunOn(t *testing.T, tr transport.Transport) string {
 	return hashRun([]*param.Set{sim.Global().Params()}, hr)
 }
 
+// goldenFaultPlan is the chaos scenario pinned by the faulty golden
+// hashes: every fault family active, so the digest covers blackout
+// rounds, skipped clients, lost uploads and straggler exclusion.
+func goldenFaultPlan() transport.FaultPlan {
+	return transport.FaultPlan{
+		Seed:              3,
+		DropProb:          0.1,
+		SendLossProb:      0.1,
+		DeliverLossProb:   0.1,
+		BroadcastFailProb: 0.1,
+		SlowProb:          0.3,
+		SlowLatency:       500 * time.Millisecond,
+	}
+}
+
+// goldenFaultyFedRun executes the reference federated workload under
+// the golden fault plan — straggler deadline and quorum active — on the
+// given backend behind the fault injector, and digests the surviving
+// model plus the utility curve and the full fault accounting. A (seed,
+// plan) pair must pin the exact output: the same digest on every
+// backend, every run.
+func goldenFaultyFedRun(t *testing.T, backend string) string {
+	t.Helper()
+	plan := goldenFaultPlan()
+	tr, err := transport.NewOptions(transport.FaultyPrefix+backend, transport.Options{Plan: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	spec := BenchSpec()
+	spec.Workers = 2
+	d, err := MakeDataset("movielens", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("gmf", d)
+	var hr []float64
+	sim, err := fed.New(fed.Config{
+		Dataset:           d,
+		Factory:           model.NewGMFFactory(d.NumUsers, d.NumItems, spec.Dim),
+		Rounds:            4,
+		Train:             model.TrainOptions{Epochs: 1},
+		Workers:           spec.Workers,
+		Transport:         tr,
+		FaultPlan:         &plan,
+		StragglerDeadline: 100 * time.Millisecond,
+		Quorum:            0.3,
+		OnRound: func(round int, s *fed.Simulation) {
+			hr = append(hr, s.UtilityHR(spec.HRK, 20))
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	// Fold the fault accounting into the digest so the hash pins the
+	// fault schedule, not just what survived it.
+	r := sim.Resilience()
+	if r.DeliverFailures == 0 || r.UploadFailures == 0 || r.Stragglers == 0 {
+		t.Fatalf("golden fault plan failed to exercise every failure path: %+v", r)
+	}
+	counts := []float64{
+		float64(r.BlackoutRounds), float64(r.DeliverFailures),
+		float64(r.UploadFailures), float64(r.Stragglers), float64(r.QuorumMisses),
+	}
+	return hashRun([]*param.Set{sim.Global().Params()}, append(hr, counts...))
+}
+
 // goldenGossipRun executes the reference gossip workload on the given
 // transport backend and digests every node's model plus the F1 curve.
 func goldenGossipRun(t *testing.T, backend string) string {
@@ -152,13 +221,15 @@ func TestGoldenDeterminism(t *testing.T) {
 	for _, backend := range []string{"inproc", "wire", "socket"} {
 		hashes["fed-gmf/"+backend] = goldenFedRun(t, backend)
 		hashes["gossip-prme/"+backend] = goldenGossipRun(t, backend)
+		hashes["fed-gmf-faulty/"+backend] = goldenFaultyFedRun(t, backend)
 	}
 	// The transport backends must agree with each other regardless of
 	// what the golden file says (this half runs on every architecture).
 	// "socket" runs the complete RPC network path over a loopback
 	// Unix-domain socket server, so agreement here means the framed
-	// protocol is value-transparent end to end.
-	for _, workload := range []string{"fed-gmf", "gossip-prme"} {
+	// protocol is value-transparent end to end — and for the faulty
+	// workload, that the injected fault schedule is backend-independent.
+	for _, workload := range []string{"fed-gmf", "gossip-prme", "fed-gmf-faulty"} {
 		for _, backend := range []string{"wire", "socket"} {
 			if hashes[workload+"/inproc"] != hashes[workload+"/"+backend] {
 				t.Fatalf("%s: %s and inproc hashes differ", workload, backend)
@@ -235,12 +306,12 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// TestGoldenSocketTwoProcess is the acceptance check for the
-// multi-process round engine: the reference federated workload, with
-// every parameter transfer dialed out to an RPC worker running in a
-// separate OS process, must hash identically to the in-process run.
-func TestGoldenSocketTwoProcess(t *testing.T) {
-	sock := filepath.Join(t.TempDir(), "worker.sock")
+// startWorker launches a second OS process serving the transport RPC
+// protocol on the unix socket path and waits until it accepts
+// connections. The returned command is registered for cleanup; callers
+// that bounce the worker mid-test kill it themselves.
+func startWorker(t *testing.T, sock string) *exec.Cmd {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
 	cmd.Env = append(os.Environ(), workerEnv+"=unix:"+sock)
 	var output bytes.Buffer
@@ -252,19 +323,27 @@ func TestGoldenSocketTwoProcess(t *testing.T) {
 		cmd.Process.Kill()
 		cmd.Wait()
 	})
-	// Wait until the worker's socket accepts connections.
 	deadline := time.Now().Add(15 * time.Second)
 	for {
 		conn, err := net.Dial("unix", sock)
 		if err == nil {
 			conn.Close()
-			break
+			return cmd
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("worker process never came up: %v\noutput: %s", err, output.String())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestGoldenSocketTwoProcess is the acceptance check for the
+// multi-process round engine: the reference federated workload, with
+// every parameter transfer dialed out to an RPC worker running in a
+// separate OS process, must hash identically to the in-process run.
+func TestGoldenSocketTwoProcess(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "worker.sock")
+	startWorker(t, sock)
 
 	ref := goldenFedRun(t, "inproc")
 	tr, err := transport.Dial("socket", sock)
@@ -274,5 +353,81 @@ func TestGoldenSocketTwoProcess(t *testing.T) {
 	got := goldenFedRunOn(t, tr)
 	if got != ref {
 		t.Fatalf("two-process socket hash %s != inproc %s", got, ref)
+	}
+}
+
+// TestGoldenFaultyRepeatable is the chaos acceptance check: a run
+// under an active fault plan is byte-identical across two executions
+// with the same (seed, plan) — chaos is replayable, not random.
+func TestGoldenFaultyRepeatable(t *testing.T) {
+	first := goldenFaultyFedRun(t, "inproc")
+	second := goldenFaultyFedRun(t, "inproc")
+	if first != second {
+		t.Fatalf("two chaos runs with the same (seed, plan) hash differently: %s vs %s", first, second)
+	}
+}
+
+// TestGoldenSocketRelayRestart is the partition/heal acceptance check:
+// the relay worker process is killed and restarted on the same address
+// between rounds, every pooled client connection goes stale, and the
+// continuing run — recovering purely through the RPC retry/reconnect
+// path — must still hash identically to the in-process run.
+func TestGoldenSocketRelayRestart(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "worker.sock")
+	worker := startWorker(t, sock)
+
+	ref := goldenFedRun(t, "inproc")
+	tr, err := transport.Dial("socket", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	spec := BenchSpec()
+	spec.Workers = 2
+	d, err := MakeDataset("movielens", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("gmf", d)
+	var hr []float64
+	bounced := false
+	sim, err := fed.New(fed.Config{
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(d.NumUsers, d.NumItems, spec.Dim),
+		Rounds:    4,
+		Train:     model.TrainOptions{Epochs: 1},
+		Workers:   spec.Workers,
+		Transport: tr,
+		OnRound: func(round int, s *fed.Simulation) {
+			hr = append(hr, s.UtilityHR(spec.HRK, 20))
+			if round == 1 {
+				// Partition: the relay dies between rounds. A killed
+				// process does not unlink its socket file, so clear it
+				// before the healed relay binds the same address.
+				worker.Process.Kill()
+				worker.Wait()
+				os.Remove(sock)
+				startWorker(t, sock)
+				bounced = true
+			}
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if !bounced {
+		t.Fatal("the relay was never bounced — the test is vacuous")
+	}
+	got := hashRun([]*param.Set{sim.Global().Params()}, hr)
+	if got != ref {
+		t.Fatalf("run across a relay restart hashes %s, inproc %s", got, ref)
+	}
+	// Healing must have gone through the reconnect path: every pooled
+	// connection was stale after the bounce.
+	if st := tr.Stats(); st.Reconnects == 0 {
+		t.Fatalf("relay restart healed without a single reconnect: %+v", st)
 	}
 }

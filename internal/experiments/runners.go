@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand/v2"
+	"strings"
 
 	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/dataset"
@@ -41,13 +42,30 @@ type RunResult struct {
 
 // newTransport builds the transport a run's spec asks for: a loopback
 // or in-process backend via transport.New, or a connection to an
-// external worker process when TransportAddr is set. The caller owns
-// the instance and must Close it when the run is done.
+// external worker process when TransportAddr is set; a FaultPlan (or
+// the "faulty:" name prefix) wraps it in the deterministic fault
+// injector, and Retry tunes the socket backends' RPC policy. The
+// caller owns the instance and must Close it when the run is done.
 func newTransport(s Spec) (transport.Transport, error) {
+	o := transport.Options{Plan: s.FaultPlan, Retry: s.Retry}
 	if s.TransportAddr != "" {
-		return transport.Dial(s.Transport, s.TransportAddr)
+		return transport.DialOptions(s.Transport, s.TransportAddr, o)
 	}
-	return transport.New(s.Transport)
+	return transport.NewOptions(s.Transport, o)
+}
+
+// effectivePlan is the fault plan the protocol simulators should see:
+// the spec's explicit plan, or the default one implied by a bare
+// "faulty:" transport prefix (nil when no faults are configured).
+func effectivePlan(s Spec) *transport.FaultPlan {
+	if s.FaultPlan != nil {
+		return s.FaultPlan
+	}
+	if strings.HasPrefix(s.Transport, transport.FaultyPrefix) {
+		p := transport.DefaultFaultPlan()
+		return &p
+	}
+	return nil
 }
 
 // BestUtility returns the best per-round utility (0 when not recorded).
@@ -132,16 +150,19 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 	defer tr.Close()
 	var utility []float64
 	sim, err := fed.New(fed.Config{
-		Dataset:        o.Data,
-		Factory:        factory,
-		Policy:         o.Policy,
-		Rounds:         o.Spec.Rounds,
-		ClientFraction: o.ClientFraction,
-		DropoutProb:    o.DropoutProb,
-		Train:          model.TrainOptions{Epochs: o.Spec.LocalEpochs},
-		Workers:        o.Spec.Workers,
-		Transport:      tr,
-		Observer:       obs,
+		Dataset:           o.Data,
+		Factory:           factory,
+		Policy:            o.Policy,
+		Rounds:            o.Spec.Rounds,
+		ClientFraction:    o.ClientFraction,
+		DropoutProb:       o.DropoutProb,
+		Train:             model.TrainOptions{Epochs: o.Spec.LocalEpochs},
+		Workers:           o.Spec.Workers,
+		Transport:         tr,
+		FaultPlan:         effectivePlan(o.Spec),
+		StragglerDeadline: o.Spec.StragglerDeadline,
+		Quorum:            o.Spec.Quorum,
+		Observer:          obs,
 		// Utility sweeps run on the simulator's deterministic parallel
 		// evaluation engine (Spec.Workers, per-(seed, round, user)
 		// negative streams), so the recorded curve is independent of the
@@ -312,6 +333,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		Train:       model.TrainOptions{Epochs: o.Spec.LocalEpochs},
 		Workers:     o.Spec.Workers,
 		Transport:   tr,
+		FaultPlan:   effectivePlan(o.Spec),
 		Observer:    obs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {

@@ -13,9 +13,11 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // DefaultShareLessTau is the item-drift regularization factor τ used
@@ -76,6 +78,21 @@ type Spec struct {
 	// "socket-tcp". Every parameter transfer of the run then crosses OS
 	// process boundaries. Only meaningful with the socket backends.
 	TransportAddr string
+	// FaultPlan, when non-nil, wraps the run's transport in the
+	// deterministic fault injector (transport.NewFaulty) and hands the
+	// same plan to the protocol simulators for straggler latencies and
+	// peer-reachability decisions. Alternatively prefix Transport with
+	// "faulty:" for transport.DefaultFaultPlan. A (Seed, FaultPlan)
+	// pair pins the run's exact output on every backend.
+	FaultPlan *transport.FaultPlan
+	// Retry overrides the socket backends' RPC RetryPolicy (nil keeps
+	// the defaults: 4 attempts, capped jittered exponential backoff,
+	// 30s per-attempt deadline).
+	Retry *transport.RetryPolicy
+	// StragglerDeadline and Quorum parameterize the FL server's partial
+	// aggregation (see fed.Config). Zero values disable both.
+	StragglerDeadline time.Duration
+	Quorum            float64
 	// Seed drives all generation and training.
 	Seed uint64
 }

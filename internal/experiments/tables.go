@@ -52,14 +52,19 @@ func RenderRows(title string, rows []AttackRow) string {
 }
 
 // renderTraffic formats the per-run transport accounting of rows that
-// recorded it: point-to-point and broadcast volume, frame counts, and
-// the socket backends' RPC round-trip/reconnect counters.
+// recorded it: point-to-point and broadcast volume, frame counts, the
+// socket backends' RPC round-trip/reconnect/retry counters, and —
+// when any run used the retry or fault layers — the timeout, give-up
+// and injected-fault columns.
 func renderTraffic(rows []AttackRow) string {
-	any := false
+	any, resil := false, false
 	for _, r := range rows {
 		if r.Transport != "" {
 			any = true
-			break
+		}
+		st := r.Traffic
+		if st.Retries > 0 || st.Timeouts > 0 || st.GaveUp > 0 || st.InjectedFaults > 0 {
+			resil = true
 		}
 	}
 	if !any {
@@ -67,19 +72,27 @@ func renderTraffic(rows []AttackRow) string {
 	}
 	var b strings.Builder
 	b.WriteString("-- transport traffic per run --\n")
-	fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8s %9s %8s %9s %8s %7s %6s\n",
+	fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8s %9s %8s %9s %8s %7s %6s",
 		"dataset", "model", "setting", "backend",
 		"msgs", "MB", "bcasts", "bcastMB", "chunks", "rtrips", "reconn")
+	if resil {
+		fmt.Fprintf(&b, " %7s %8s %6s %6s", "retries", "timeouts", "gaveup", "faults")
+	}
+	b.WriteByte('\n')
 	for _, r := range rows {
 		if r.Transport == "" {
 			continue
 		}
 		st := r.Traffic
-		fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8d %9.2f %8d %9.2f %8d %7d %6d\n",
+		fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8d %9.2f %8d %9.2f %8d %7d %6d",
 			r.Dataset, r.Model, r.Setting, r.Transport,
 			st.Messages, float64(st.Bytes)/(1<<20),
 			st.BroadcastMessages, float64(st.BroadcastBytes)/(1<<20),
 			st.Chunks, st.RoundTrips, st.Reconnects)
+		if resil {
+			fmt.Fprintf(&b, " %7d %8d %6d %6d", st.Retries, st.Timeouts, st.GaveUp, st.InjectedFaults)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

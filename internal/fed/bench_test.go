@@ -3,6 +3,7 @@ package fed
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
@@ -88,6 +89,55 @@ func BenchmarkSocketRound(b *testing.B) {
 				b.Cleanup(func() { tr.Close() })
 				s := benchSimOn(b, workers, tr)
 				s.RunRound() // warm scratch models, pools and the conn pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.RunRound()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFaultyRound prices the resilience layer: one full FedAvg
+// round behind the fault injector — every transfer pays the plan's
+// counter-based fault draws, plus straggler-deadline and quorum checks
+// in the sequential phase — against the plain inproc baseline. The
+// "clean" case runs an all-zero plan (the wrapper installed but every
+// probability off) to isolate the pure bookkeeping overhead; "chaos"
+// runs the default plan, where the work saved on lost transfers can
+// even make rounds cheaper. Latencies are virtual, so no case sleeps.
+// See PERFORMANCE.md for recorded numbers.
+func BenchmarkFaultyRound(b *testing.B) {
+	plans := []struct {
+		name string
+		plan *transport.FaultPlan
+	}{
+		{"baseline", nil},
+		{"clean", &transport.FaultPlan{Seed: 1}},
+		{"chaos", func() *transport.FaultPlan { p := transport.DefaultFaultPlan(); return &p }()},
+	}
+	for _, pc := range plans {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", pc.name, workers), func(b *testing.B) {
+				var tr transport.Transport
+				var err error
+				if pc.plan == nil {
+					tr, err = transport.New("inproc")
+				} else {
+					tr, err = transport.NewOptions("faulty:inproc", transport.Options{Plan: pc.plan})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { tr.Close() })
+				s := benchSimOn(b, workers, tr)
+				s.cfg.FaultPlan = pc.plan
+				if pc.plan != nil {
+					s.cfg.StragglerDeadline = 100 * time.Millisecond
+					s.cfg.Quorum = 0.3
+				}
+				s.RunRound() // warm scratch models and both pools
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

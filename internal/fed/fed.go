@@ -17,7 +17,10 @@ package fed
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sync/atomic"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/defense"
@@ -97,6 +100,29 @@ type Config struct {
 	// traffic stats, so do not share one across simulations.
 	Transport transport.Transport
 
+	// FaultPlan is the declarative failure scenario the simulator
+	// consults for protocol-level decisions the transport cannot make —
+	// today, each sampled client's virtual latency for the straggler
+	// deadline. Message loss itself flows through the transport: wrap it
+	// in transport.NewFaulty with the same plan (or use the "faulty:"
+	// backend prefix) and the simulator treats the injected transfer
+	// errors as lost uploads, skipped clients and blackout rounds. nil
+	// disables straggler modelling.
+	FaultPlan *transport.FaultPlan
+	// StragglerDeadline is the server's per-round upload deadline: a
+	// sampled client whose virtual latency (FaultPlan.Latency) exceeds
+	// it uploads too late — the adversary still observes the upload, but
+	// aggregation excludes it (partial aggregation over the timely
+	// survivors, reweighted by FedAvg's data-size weights). 0 disables
+	// the deadline.
+	StragglerDeadline time.Duration
+	// Quorum is the minimum fraction of the round's sampled clients
+	// whose uploads must arrive in time for aggregation to proceed;
+	// below it the round keeps the previous global model (counted in
+	// Resilience.QuorumMisses). 0 disables the check — any non-empty
+	// set of arrivals aggregates, the pre-resilience behaviour.
+	Quorum float64
+
 	// Observer optionally receives all uploads (the adversary hook).
 	Observer Observer
 	// OnRound is called after every round with the live simulation,
@@ -121,6 +147,12 @@ func (c *Config) validate() error {
 	}
 	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
 		return fmt.Errorf("fed: Config.DropoutProb %v out of [0,1)", c.DropoutProb)
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("fed: Config.Quorum %v out of [0,1]", c.Quorum)
+	}
+	if c.StragglerDeadline < 0 {
+		return fmt.Errorf("fed: Config.StragglerDeadline %v is negative", c.StragglerDeadline)
 	}
 	return nil
 }
@@ -178,6 +210,45 @@ type Simulation struct {
 	// that worker's scratch model (-1 = scratch needs a global re-sync).
 	eval     *model.Eval
 	evalPrev []int
+
+	// Resilience accounting. deliverFailures and uploadFailures are
+	// incremented from worker goroutines (atomic); the rest only from
+	// the sequential round phase.
+	deliverFailures atomic.Int64
+	uploadFailures  atomic.Int64
+	stragglers      int64
+	quorumMisses    int64
+	blackoutRounds  int64
+}
+
+// Resilience is the simulation's accumulated fault accounting.
+type Resilience struct {
+	// BlackoutRounds counts rounds whose global-model broadcast failed
+	// outright: no client trained, the global model stood still.
+	BlackoutRounds int64
+	// DeliverFailures counts sampled clients that never received the
+	// round's global model (they skip the round entirely).
+	DeliverFailures int64
+	// UploadFailures counts uploads lost in transit after training (the
+	// server, and the adversary, never saw them).
+	UploadFailures int64
+	// Stragglers counts uploads that arrived past StragglerDeadline:
+	// observed by the adversary, excluded from aggregation.
+	Stragglers int64
+	// QuorumMisses counts rounds whose timely arrivals fell below
+	// Quorum, keeping the previous global model.
+	QuorumMisses int64
+}
+
+// Resilience returns the accumulated fault accounting.
+func (s *Simulation) Resilience() Resilience {
+	return Resilience{
+		BlackoutRounds:  s.blackoutRounds,
+		DeliverFailures: s.deliverFailures.Load(),
+		UploadFailures:  s.uploadFailures.Load(),
+		Stragglers:      s.stragglers,
+		QuorumMisses:    s.quorumMisses,
+	}
 }
 
 // Traffic returns the accumulated upload statistics (the transport's
@@ -281,14 +352,33 @@ func (s *Simulation) Run() {
 // a serial round (sampling, then one dropout draw per sampled client),
 // every client trains with its own RNG on its own state, and uploads
 // are observed and aggregated in the round's sampling order — so the
-// outcome is byte-identical for every Workers setting.
+// outcome is byte-identical for every Workers setting. Fault handling
+// preserves this: transfer failures from a FaultPlan-driven transport
+// are pure functions of (plan seed, round, participant), and straggler
+// latencies are virtual, so a (seed, plan) pair pins the exact output
+// on every backend.
+//
+// Failure taxonomy (all counted in Resilience):
+//
+//   - broadcast open fails → blackout round: nobody trains, the global
+//     model stands still, callbacks still fire.
+//   - a client's broadcast delivery fails → the client skips the round
+//     (no training, no upload).
+//   - a client's upload Send fails → the upload is lost in transit;
+//     neither the server nor the adversary sees it.
+//   - an upload arrives past StragglerDeadline → the adversary observes
+//     it, aggregation excludes it.
+//   - timely arrivals fall below Quorum → the round keeps the previous
+//     global model (the observer still saw the arrivals).
 func (s *Simulation) RunRound() {
 	round := s.round
 	n := s.cfg.Dataset.NumUsers
 	sampled := s.sampleClients(n)
 
 	// Pre-draw dropout decisions so the shared round RNG is not touched
-	// from worker goroutines.
+	// from worker goroutines. Drawn before the broadcast so a blackout
+	// round consumes the round RNG exactly like a normal round — the
+	// continuation stays comparable to a fault-free run.
 	s.dropped = s.dropped[:0]
 	for range sampled {
 		s.dropped = append(s.dropped, s.cfg.DropoutProb > 0 && mathx.Bernoulli(s.rng, s.cfg.DropoutProb))
@@ -307,42 +397,77 @@ func (s *Simulation) RunRound() {
 	for range sampled {
 		s.payloads = append(s.payloads, nil)
 	}
-	bcast := s.tr.OpenBroadcast(round, s.global.Params())
+	bcast, err := s.tr.OpenBroadcast(round, s.global.Params())
+	if err != nil {
+		// Blackout round: the server could not stage the global model.
+		s.blackoutRounds++
+		s.finishRound(round)
+		return
+	}
 	parx.ForEach(s.workers, len(sampled), func(w, i int) {
 		payload := s.clientRound(round, sampled[i], s.scratches[w], bcast)
+		if payload == nil {
+			return // delivery failed: the client skipped the round
+		}
 		if s.dropped[i] {
 			// Failure injection: the client crashed before uploading.
 			// Its local training (and private state) already happened.
 			s.pool.Put(payload)
 			return
 		}
-		s.payloads[i] = s.tr.Send(round, sampled[i], payload, &s.pool)
+		sent, err := s.tr.Send(round, sampled[i], payload, &s.pool)
+		if err != nil {
+			// Upload lost in transit (payload already recycled).
+			s.uploadFailures.Add(1)
+			return
+		}
+		s.payloads[i] = sent
 	})
 	bcast.Close()
 
 	// Sequential phase: observe and aggregate in client-index order.
+	// Straggler decisions are pure plan functions, so drawing them here
+	// (not in the parallel region) changes nothing and keeps the
+	// exclusion logic next to the aggregation it affects.
 	uploads := s.uploads[:0]
 	for i, u := range sampled {
 		payload := s.payloads[i]
 		s.payloads[i] = nil
 		if payload == nil {
-			continue // dropped before upload
+			continue // dropped, skipped or lost before arrival
+		}
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.OnUpload(Message{Round: round, From: u, Params: payload})
+		}
+		if s.isStraggler(round, u) {
+			// Too late for aggregation; the adversary saw it anyway.
+			s.stragglers++
+			s.pool.Put(payload)
+			continue
 		}
 		uploads = append(uploads, upload{
 			from:    u,
 			payload: payload,
 			weight:  float64(len(s.cfg.Dataset.Train[u])),
 		})
-		if s.cfg.Observer != nil {
-			s.cfg.Observer.OnUpload(Message{Round: round, From: u, Params: payload})
-		}
 	}
-	s.aggregate(uploads)
+	if s.cfg.Quorum > 0 && len(uploads) < int(math.Ceil(s.cfg.Quorum*float64(len(sampled)))) {
+		// Quorum miss: keep the previous global model.
+		s.quorumMisses++
+	} else {
+		s.aggregate(uploads)
+	}
 	for i := range uploads {
 		s.pool.Put(uploads[i].payload)
 		uploads[i].payload = nil
 	}
 	s.uploads = uploads[:0]
+	s.finishRound(round)
+}
+
+// finishRound fires the end-of-round callbacks and advances the round
+// counter (shared by normal and blackout rounds).
+func (s *Simulation) finishRound(round int) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnRoundEnd(round)
 	}
@@ -350,6 +475,16 @@ func (s *Simulation) RunRound() {
 	if s.cfg.OnRound != nil {
 		s.cfg.OnRound(round, s)
 	}
+}
+
+// isStraggler reports whether client u's round upload misses the
+// straggler deadline: its virtual latency under the fault plan exceeds
+// StragglerDeadline. Pure, deterministic, backend-independent.
+func (s *Simulation) isStraggler(round, u int) bool {
+	if s.cfg.StragglerDeadline <= 0 || s.cfg.FaultPlan == nil {
+		return false
+	}
+	return s.cfg.FaultPlan.Latency(round, u) > s.cfg.StragglerDeadline
 }
 
 func (s *Simulation) sampleClients(n int) []int {
@@ -372,10 +507,16 @@ func (s *Simulation) sampleClients(n int) []int {
 // train locally, build the outgoing payload via the policy. It touches
 // only client u's state, the concurrency-safe payload pool and the
 // (concurrency-safe, read-only) broadcast handle, so distinct clients
-// may run concurrently on distinct scratch models.
+// may run concurrently on distinct scratch models. A failed delivery
+// means the client never got this round's model: it returns nil
+// without training (its RNG and private state untouched, so the
+// failure is purely a skipped round).
 func (s *Simulation) clientRound(round, u int, m model.Recommender, bcast transport.Broadcast) *param.Set {
 	st := &s.clients[u]
-	bcast.Deliver(m.Params())
+	if err := bcast.Deliver(u, m.Params()); err != nil {
+		s.deliverFailures.Add(1)
+		return nil
+	}
 	s.installPrivateRows(m, u)
 	st.lastReceived = m.Params().CloneInto(st.lastReceived)
 

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/defense"
@@ -103,6 +104,15 @@ type Config struct {
 	// transit (never delivered, never observed). Failure injection for
 	// the decentralized setting.
 	LossProb float64
+	// FaultPlan is the declarative failure scenario the simulator
+	// consults for the one decision the transport cannot make: whether
+	// a push's chosen receiver is unreachable this round (the push is
+	// skipped; the sender's view is left intact, so an outage never
+	// corrupts the peer-sampling state). Transit loss itself flows
+	// through the transport — wrap it in transport.NewFaulty with the
+	// same plan and Send errors count as lost pushes. nil disables
+	// both checks.
+	FaultPlan *transport.FaultPlan
 
 	// Train is the local-training option template; Rand is ignored.
 	Train model.TrainOptions
@@ -196,6 +206,29 @@ type Simulation struct {
 	workers int
 	pool    param.Buffers // payload free-list
 	pushes  []push        // per-round staging, indexed by sender
+
+	// Resilience accounting, incremented from worker goroutines.
+	lostPushes   atomic.Int64
+	skippedPeers atomic.Int64
+}
+
+// Resilience is the simulation's accumulated fault accounting.
+type Resilience struct {
+	// LostPushes counts pushes the transport failed to carry (injected
+	// faults or an unreachable backend) — distinct from LossProb losses,
+	// which never reach the transport.
+	LostPushes int64
+	// SkippedPeers counts pushes skipped because the chosen receiver
+	// was unreachable under the FaultPlan.
+	SkippedPeers int64
+}
+
+// Resilience returns the accumulated fault accounting.
+func (s *Simulation) Resilience() Resilience {
+	return Resilience{
+		LostPushes:   s.lostPushes.Load(),
+		SkippedPeers: s.skippedPeers.Load(),
+	}
 }
 
 // push is one node's (possibly absent) outgoing transfer for the
@@ -338,7 +371,20 @@ func (s *Simulation) RunRound() {
 			s.pool.Put(payload)
 			return // failure injection: message lost in transit
 		}
-		s.pushes[u] = push{to: to, payload: s.tr.Send(round, u, payload, &s.pool)}
+		// Plan- and transport-level faults consume no RNG, so a
+		// fault-free run's draw order is untouched by this code path.
+		if s.cfg.FaultPlan != nil && s.cfg.FaultPlan.Unreachable(round, to) {
+			// Receiver down this round: skip the push, keep the view.
+			s.skippedPeers.Add(1)
+			s.pool.Put(payload)
+			return
+		}
+		sent, err := s.tr.Send(round, u, payload, &s.pool)
+		if err != nil {
+			s.lostPushes.Add(1)
+			return // push lost in transit (payload already recycled)
+		}
+		s.pushes[u] = push{to: to, payload: sent}
 	})
 
 	// Phase 1b: deliver in sender order (sequential — inbox append

@@ -22,16 +22,17 @@ func (t *Inproc) Name() string { return "inproc" }
 func (t *Inproc) Close() error { return nil }
 
 // Send implements Transport: the receiver observes the sender's set.
-func (t *Inproc) Send(_, _ int, payload *param.Set, _ *param.Buffers) *param.Set {
+// The in-memory backend never fails.
+func (t *Inproc) Send(_, _ int, payload *param.Set, _ *param.Buffers) (*param.Set, error) {
 	t.messages.Add(1)
 	t.bytes.Add(int64(payload.WireBytes()))
 	t.chunks.Add(1)
-	return payload
+	return payload, nil
 }
 
 // OpenBroadcast implements Transport.
-func (t *Inproc) OpenBroadcast(_ int, src *param.Set) Broadcast {
-	return &inprocBroadcast{t: t, src: src, wire: int64(src.WireBytes())}
+func (t *Inproc) OpenBroadcast(_ int, src *param.Set) (Broadcast, error) {
+	return &inprocBroadcast{t: t, src: src, wire: int64(src.WireBytes())}, nil
 }
 
 type inprocBroadcast struct {
@@ -41,11 +42,12 @@ type inprocBroadcast struct {
 }
 
 // Deliver copies the source directly into the receiver's set.
-func (b *inprocBroadcast) Deliver(dst *param.Set) {
+func (b *inprocBroadcast) Deliver(_ int, dst *param.Set) error {
 	dst.CopyFrom(b.src)
 	b.t.bMessages.Add(1)
 	b.t.bBytes.Add(b.wire)
 	b.t.chunks.Add(1)
+	return nil
 }
 
 func (b *inprocBroadcast) Close() { b.src = nil }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClientClosed is returned by client operations after Close, and by
@@ -24,9 +25,16 @@ func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
 // round-trips from a simulator's worker goroutines never interleave
 // frames. Idle connections are reused; a reused connection that fails
 // mid-round-trip (the server restarted, an idle timeout fired) is
-// replaced by a fresh dial once per call, counted in Reconnects.
+// replaced by a fresh dial, counted in Reconnects.
+//
+// Every round-trip runs under the client's RetryPolicy: each attempt
+// carries an I/O deadline, failed attempts (dial failures included)
+// back off exponentially with deterministic jitter, and a round-trip
+// that exhausts its attempts returns an error wrapping ErrUnavailable
+// instead of redialing in a tight loop.
 type Client struct {
 	network, addr string
+	policy        RetryPolicy
 
 	mu     sync.Mutex
 	idle   []*clientConn
@@ -34,6 +42,9 @@ type Client struct {
 
 	roundTrips atomic.Int64
 	reconnects atomic.Int64
+	retries    atomic.Int64
+	timeouts   atomic.Int64
+	gaveUp     atomic.Int64
 }
 
 // clientConn is one pooled connection with its buffers and reusable
@@ -46,11 +57,18 @@ type clientConn struct {
 	resp Frame
 }
 
-// Dial connects a client to a server. The first connection is
-// established eagerly so an unreachable address fails here, not in the
-// middle of a round.
+// Dial connects a client to a server under the default RetryPolicy.
+// The first connection is established eagerly so an unreachable
+// address fails here — wrapping ErrUnavailable — not in the middle of
+// a round.
 func Dial(network, addr string) (*Client, error) {
-	c := &Client{network: network, addr: addr}
+	return DialPolicy(network, addr, RetryPolicy{})
+}
+
+// DialPolicy is Dial with an explicit RetryPolicy (zero fields keep
+// the defaults, see RetryPolicy).
+func DialPolicy(network, addr string, policy RetryPolicy) (*Client, error) {
+	c := &Client{network: network, addr: addr, policy: policy.normalize()}
 	cn, err := c.dial()
 	if err != nil {
 		return nil, err
@@ -61,6 +79,9 @@ func Dial(network, addr string) (*Client, error) {
 	return c, nil
 }
 
+// Policy returns the client's normalized retry policy.
+func (c *Client) Policy() RetryPolicy { return c.policy }
+
 // RoundTrips returns the number of completed request/response
 // exchanges.
 func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
@@ -68,6 +89,17 @@ func (c *Client) RoundTrips() int64 { return c.roundTrips.Load() }
 // Reconnects returns how many times a pooled connection had to be
 // replaced by a fresh dial mid-call.
 func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Retries returns the number of retry attempts (beyond each
+// round-trip's first) the policy has spent so far.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Timeouts returns how many attempts failed by I/O deadline expiry.
+func (c *Client) Timeouts() int64 { return c.timeouts.Load() }
+
+// GaveUp returns how many round-trips exhausted their attempts and
+// surfaced ErrUnavailable.
+func (c *Client) GaveUp() int64 { return c.gaveUp.Load() }
 
 // Close closes every pooled connection. Connections checked out by
 // in-flight round-trips are closed as they are returned. A second
@@ -89,9 +121,12 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) dial() (*clientConn, error) {
-	conn, err := net.Dial(c.network, c.addr)
+	conn, err := net.DialTimeout(c.network, c.addr, c.policy.Timeout)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s %s: %w", c.network, c.addr, err)
+		if isTimeout(err) {
+			c.timeouts.Add(1)
+		}
+		return nil, fmt.Errorf("rpc: dial %s %s: %w: %w", c.network, c.addr, ErrUnavailable, err)
 	}
 	return &clientConn{
 		c:  conn,
@@ -100,24 +135,19 @@ func (c *Client) dial() (*clientConn, error) {
 	}, nil
 }
 
-// get checks a connection out of the pool, dialing when none is idle.
-// reused reports whether the connection has served a previous call
-// (and may therefore be stale).
-func (c *Client) get() (cn *clientConn, reused bool, err error) {
+// get checks a connection out of the pool without dialing. reused is
+// false when the pool is empty and the caller must dial.
+func (c *Client) get() (cn *clientConn, err error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return nil, false, ErrClientClosed
+		return nil, ErrClientClosed
 	}
 	if n := len(c.idle); n > 0 {
 		cn = c.idle[n-1]
 		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return cn, true, nil
 	}
-	c.mu.Unlock()
-	cn, err = c.dial()
-	return cn, false, err
+	return cn, nil
 }
 
 func (c *Client) put(cn *clientConn) {
@@ -136,41 +166,74 @@ func (c *Client) put(cn *clientConn) {
 // payload) is only valid inside handle. An MsgError response is
 // surfaced as *RemoteError without invoking handle. Safe for
 // concurrent use.
+//
+// Failure handling: pooled connections that went stale while idle (the
+// server restarted, an idle timeout fired) are drained and replaced
+// for free — after a restart every idle connection is stale, and each
+// drain discards exactly one, so the drain loop is bounded by the pool
+// size. Fresh dials and fresh-connection I/O failures consume policy
+// attempts with capped, jittered backoff in between; once the attempts
+// are spent the round-trip returns an error wrapping ErrUnavailable.
+// Requests are replayable — the one caveat is MsgBcastOpen, where a
+// request the server acted on but whose response was lost leaves an
+// orphaned entry in the server's bounded broadcast store.
 func (c *Client) RoundTrip(typ byte, round, id uint32, payload []byte, handle func(resp *Frame) error) error {
+	p := c.policy
+	key := uint64(round)<<32 | uint64(id)<<8 | uint64(typ)
+	attempt := 1
+	var lastErr error
 	for {
-		cn, reused, err := c.get()
-		if err != nil {
-			return err
+		cn, err := c.get()
+		reused := cn != nil
+		if err == nil && cn == nil {
+			cn, err = c.dial()
 		}
-		if err := cn.call(typ, round, id, payload); err != nil {
+		if err == nil {
+			err = cn.call(p.Timeout, typ, round, id, payload)
+			if err == nil {
+				c.roundTrips.Add(1)
+				if cn.resp.Type == MsgError {
+					err = &RemoteError{Msg: string(cn.resp.Payload)}
+				} else if handle != nil {
+					err = handle(&cn.resp)
+				}
+				c.put(cn)
+				return err
+			}
 			cn.c.Close()
+			if isTimeout(err) {
+				c.timeouts.Add(1)
+			}
 			if reused {
-				// The pooled connection went stale while idle (the server
-				// restarted, an idle timeout fired) — and after a restart
-				// every idle connection is stale, so keep draining them.
-				// The loop is bounded: each failure discards one pooled
-				// connection, and once the pool is empty get() dials fresh
-				// (reused=false), whose failure is final. Requests are
-				// replayable — the one caveat is MsgBcastOpen, where a
-				// request the server acted on but whose response was lost
-				// leaves an orphaned broadcast behind (see Server.storeBcast).
+				// Stale pooled connection: drain it and try the next one
+				// (or a fresh dial) without consuming an attempt.
 				c.reconnects.Add(1)
 				continue
 			}
-			return fmt.Errorf("rpc: round-trip type %d: %w", typ, err)
 		}
-		c.roundTrips.Add(1)
-		if cn.resp.Type == MsgError {
-			err = &RemoteError{Msg: string(cn.resp.Payload)}
-		} else if handle != nil {
-			err = handle(&cn.resp)
+		if errors.Is(err, ErrClientClosed) {
+			return err
 		}
-		c.put(cn)
-		return err
+		lastErr = err
+		attempt++
+		if attempt > p.MaxAttempts {
+			c.gaveUp.Add(1)
+			return fmt.Errorf("rpc: round-trip type %d: %w after %d attempts: %w",
+				typ, ErrUnavailable, p.MaxAttempts, lastErr)
+		}
+		c.retries.Add(1)
+		time.Sleep(p.backoff(key, attempt-1))
 	}
 }
 
-func (cn *clientConn) call(typ byte, round, id uint32, payload []byte) error {
+// call runs one attempt on this connection under the given I/O
+// deadline.
+func (cn *clientConn) call(timeout time.Duration, typ byte, round, id uint32, payload []byte) error {
+	if timeout > 0 {
+		if err := cn.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
 	if err := WriteFrame(cn.bw, typ, round, id, payload); err != nil {
 		return err
 	}

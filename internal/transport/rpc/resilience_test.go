@@ -1,0 +1,373 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastPolicy keeps retry tests quick: minimal backoff, short deadlines.
+func fastPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Timeout:     250 * time.Millisecond,
+	}
+}
+
+// Dialing an address nobody listens on must fail eagerly with a typed
+// ErrUnavailable, not surface mid-round.
+func TestDialUnreachable(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "nobody.sock")
+	if _, err := DialPolicy("unix", sock, fastPolicy(2)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Dial to dead address = %v, want ErrUnavailable", err)
+	}
+}
+
+// A round-trip against a server that died must spend exactly the
+// policy's attempts — with the stale pooled connection drained for free
+// — then give up with ErrUnavailable, all counted.
+func TestRoundTripGivesUpBounded(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "w.sock")
+	srv, err := Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialPolicy("unix", sock, fastPolicy(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.RoundTrip(MsgSend, 1, 1, []byte("warm"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server for good: the socket file is unlinked, so fresh
+	// dials fail immediately.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = cl.RoundTrip(MsgSend, 2, 2, []byte("doomed"), nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("round-trip against dead server = %v, want ErrUnavailable", err)
+	}
+	if got := cl.GaveUp(); got != 1 {
+		t.Fatalf("GaveUp = %d, want 1", got)
+	}
+	// 3 attempts = 1 first try + 2 retries; the stale pooled conn drain
+	// is free.
+	if got := cl.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	if got := cl.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1 (the stale pooled conn)", got)
+	}
+}
+
+// A server that accepts but never answers must trip the per-attempt
+// I/O deadline (counted in Timeouts), not hang the round-trip forever.
+func TestRoundTripTimesOutOnSilentServer(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "silent.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := c.Read(buf); err != nil {
+						return // swallow requests, never answer
+					}
+				}
+			}(c)
+		}
+	}()
+	cl, err := DialPolicy("unix", sock, fastPolicy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	err = cl.RoundTrip(MsgSend, 1, 1, []byte("into the void"), nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("round-trip against silent server = %v, want ErrUnavailable", err)
+	}
+	if cl.Timeouts() == 0 {
+		t.Fatal("deadline expiries must be counted in Timeouts")
+	}
+	if cl.GaveUp() != 1 {
+		t.Fatalf("GaveUp = %d, want 1", cl.GaveUp())
+	}
+	// 2 fresh attempts of ≤250ms plus the free stale drain: well under
+	// the no-deadline regime (which would hang forever).
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded round-trip took %v", elapsed)
+	}
+}
+
+// Close racing in-flight round-trips: every call must settle to nil or
+// ErrClientClosed — no panic, no deadlock, no wedged goroutine. Run
+// under -race this also shakes the pool accounting.
+func TestConcurrentCloseVsInFlight(t *testing.T) {
+	srv := testServer(t)
+	cl, err := Dial(srv.Network(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := cl.RoundTrip(MsgSend, uint32(g), uint32(i), []byte("racing"), nil)
+				if err != nil {
+					if !errors.Is(err, ErrClientClosed) {
+						panic("unexpected round-trip error during Close race: " + err.Error())
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond) // let some round-trips get in flight
+	if err := cl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if err := cl.RoundTrip(MsgSend, 0, 0, nil, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("RoundTrip after Close = %v, want ErrClientClosed", err)
+	}
+}
+
+// Server.Close racing a broadcast fan-out: delivering goroutines must
+// all unwind with bounded errors instead of hanging on a half-dead
+// server.
+func TestServerCloseMidBroadcastFanout(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "w.sock")
+	srv, err := Serve("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialPolicy("unix", sock, fastPolicy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var id uint32
+	if err := cl.RoundTrip(MsgBcastOpen, 1, 0, []byte("the global model"), func(f *Frame) error {
+		id = f.ID
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				err := cl.RoundTrip(MsgBcastGet, 1, id, nil, nil)
+				if err != nil {
+					// The server died under us: ErrUnavailable (dial/IO
+					// failure after the socket vanished) and ErrClientClosed
+					// are the only acceptable outcomes; a protocol error or a
+					// hang is a bug.
+					if !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrClientClosed) {
+						panic("unexpected deliver error during server Close: " + err.Error())
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server Close mid-fanout: %v", err)
+	}
+	wg.Wait()
+}
+
+// The broadcast store is bounded: opening more than MaxBroadcasts
+// evicts oldest-first, and a delivery from an evicted id is a remote
+// error, not a hang or a leak.
+func TestBroadcastStoreEviction(t *testing.T) {
+	srv, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxBroadcasts = 4
+	srv.Start()
+	defer srv.Close()
+	cl := testClient(t, srv)
+
+	open := func(round uint32) uint32 {
+		t.Helper()
+		var id uint32
+		if err := cl.RoundTrip(MsgBcastOpen, round, 0, []byte("payload"), func(f *Frame) error {
+			id = f.ID
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	first := open(0)
+	var last uint32
+	for r := 1; r < 6; r++ {
+		last = open(uint32(r))
+	}
+	if got := srv.BroadcastEvictions(); got != 2 {
+		t.Fatalf("BroadcastEvictions = %d, want 2 (6 opens into a store of 4)", got)
+	}
+	var remote *RemoteError
+	if err := cl.RoundTrip(MsgBcastGet, 0, first, nil, nil); !errors.As(err, &remote) {
+		t.Fatalf("get of evicted broadcast = %v, want *RemoteError", err)
+	}
+	if err := cl.RoundTrip(MsgBcastGet, 5, last, nil, nil); err != nil {
+		t.Fatalf("get of resident broadcast: %v", err)
+	}
+}
+
+// Shutdown must answer a request already in flight before tearing the
+// connection down, and release idle connections within the grace
+// window without counting them as errors.
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	srv := testServer(t)
+	raw, err := net.Dial(srv.Network(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Park half a frame so the handler is mid-read when Shutdown fires.
+	frame := frameBytes(MsgSend, 3, 3, []byte("slow sender"))
+	if _, err := raw.Write(frame[:HeaderLen+4]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the handler block on the partial frame
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(time.Second) }()
+	time.Sleep(20 * time.Millisecond) // Shutdown has set the drain deadline
+	if _, err := raw.Write(frame[HeaderLen+4:]); err != nil {
+		t.Fatalf("finishing the in-flight frame: %v", err)
+	}
+	var resp Frame
+	if err := ReadFrame(raw, &resp); err != nil {
+		t.Fatalf("in-flight request was not answered during drain: %v", err)
+	}
+	if resp.Type != MsgSendAck || string(resp.Payload) != "slow sender" {
+		t.Fatalf("drained response = %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(time.Second); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second Shutdown = %v, want ErrServerClosed", err)
+	}
+	if err := srv.Close(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Close after Shutdown = %v, want ErrServerClosed", err)
+	}
+	if srv.ConnErrors() != 0 {
+		t.Fatalf("graceful drain recorded %d conn errors", srv.ConnErrors())
+	}
+}
+
+// An idle connection must be dropped by the idle deadline — counted in
+// IdleDrops, not ConnErrors — and the client must recover with a
+// transparent reconnect.
+func TestIdleTimeoutDropsAndClientRecovers(t *testing.T) {
+	srv, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IdleTimeout = 50 * time.Millisecond
+	srv.Start()
+	defer srv.Close()
+	cl := testClient(t, srv)
+	if err := cl.RoundTrip(MsgSend, 1, 1, []byte("warm"), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.IdleDrops() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection was never dropped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.ConnErrors() != 0 {
+		t.Fatalf("idle drop was recorded as %d conn errors", srv.ConnErrors())
+	}
+	if err := cl.RoundTrip(MsgSend, 2, 2, []byte("back"), nil); err != nil {
+		t.Fatalf("round-trip after idle drop: %v", err)
+	}
+	if cl.Reconnects() == 0 {
+		t.Fatal("recovery from an idle drop must be a counted reconnect")
+	}
+}
+
+// The deterministic backoff schedule: pure function of (seed, key,
+// retry), jittered into [d/2, d), capped at MaxBackoff.
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 4 * time.Millisecond, MaxBackoff: 16 * time.Millisecond, JitterSeed: 9}.normalize()
+	for retry := 1; retry <= 12; retry++ {
+		d := p.backoff(42, retry)
+		if d != p.backoff(42, retry) {
+			t.Fatalf("backoff(42, %d) not deterministic", retry)
+		}
+		want := p.BaseBackoff << (retry - 1)
+		if want > p.MaxBackoff || want <= 0 {
+			want = p.MaxBackoff
+		}
+		if d < want/2 || d >= want {
+			t.Fatalf("backoff(42, %d) = %v outside [%v, %v)", retry, d, want/2, want)
+		}
+	}
+	if p.backoff(1, 3) == p.backoff(2, 3) {
+		t.Fatal("distinct round-trip keys should decorrelate the jitter")
+	}
+}
+
+func TestParseRetryPolicy(t *testing.T) {
+	p, err := ParseRetryPolicy("attempts=6,backoff=5ms,timeout=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAttempts != 6 || p.BaseBackoff != 5*time.Millisecond || p.Timeout != 2*time.Second {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.MaxBackoff != DefaultRetryPolicy().MaxBackoff {
+		t.Fatalf("omitted key must keep the default, got %v", p.MaxBackoff)
+	}
+	if p2, err := ParseRetryPolicy(""); err != nil || p2 != DefaultRetryPolicy() {
+		t.Fatalf("empty spec: %+v, %v", p2, err)
+	}
+	// String renders a parseable form.
+	rt, err := ParseRetryPolicy(p.String())
+	if err != nil || rt != p {
+		t.Fatalf("String round trip: %+v vs %+v (%v)", rt, p, err)
+	}
+	for _, bad := range []string{"attempts", "attempts=x", "backoff=7", "warp=1ms"} {
+		if _, err := ParseRetryPolicy(bad); err == nil {
+			t.Fatalf("ParseRetryPolicy(%q) accepted a bad spec", bad)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,25 @@ import (
 // shutdown.
 var ErrServerClosed = errors.New("rpc: server closed")
 
+// DefaultMaxBroadcasts bounds the in-flight broadcast store: the
+// number of distinct broadcast payloads the server keeps resident for
+// fan-out download. A well-behaved client holds one open broadcast per
+// round, so the bound only bites on leaks — broadcasts orphaned by a
+// replayed MsgBcastOpen whose first response was lost — which are
+// evicted oldest-first instead of accumulating until shutdown.
+const DefaultMaxBroadcasts = 64
+
+// DefaultIdleTimeout is the per-connection read deadline between
+// requests: a connection idle for longer is dropped (not an error —
+// clients reconnect transparently). It bounds the file descriptors a
+// worker pins for clients that vanished without closing.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// DefaultWriteTimeout is the per-response write deadline: a client
+// that stops draining its socket cannot wedge a handler goroutine
+// forever.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Server serves the socket transport protocol: it relays MsgSend
 // payloads back to their sender's process (the bytes the receiving
 // participant observes) and stores broadcast payloads for fan-out
@@ -23,9 +43,10 @@ var ErrServerClosed = errors.New("rpc: server closed")
 // broadcast state is shared across connections, so a client may open a
 // broadcast on one pooled connection and deliver from another.
 //
-// The server holds no protocol state beyond open broadcasts and never
-// reorders or reinterprets payload bytes, preserving the transport
-// determinism contract across process boundaries.
+// The server holds no protocol state beyond open broadcasts (a
+// bounded, oldest-first-evicting store) and never reorders or
+// reinterprets payload bytes, preserving the transport determinism
+// contract across process boundaries.
 type Server struct {
 	ln      net.Listener
 	network string
@@ -33,18 +54,32 @@ type Server struct {
 	// ErrFunc, when non-nil, observes per-connection errors (a client
 	// that disconnected mid-frame, a protocol violation). Set it between
 	// Listen and Start; it may be called concurrently. Clean EOFs
-	// between frames are not errors.
+	// between frames, idle-timeout drops and drain-deadline expiries are
+	// not errors.
 	ErrFunc func(error)
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	bcasts  map[uint32][]byte
-	nextID  uint32
-	closed  bool
-	started bool
+	// IdleTimeout, WriteTimeout and MaxBroadcasts override the
+	// DefaultIdleTimeout / DefaultWriteTimeout / DefaultMaxBroadcasts
+	// resource bounds. Negative disables the corresponding deadline
+	// (unbounded); zero selects the default. Set between Listen and
+	// Start.
+	IdleTimeout   time.Duration
+	WriteTimeout  time.Duration
+	MaxBroadcasts int
 
-	connErrs atomic.Int64
-	wg       sync.WaitGroup
+	mu         sync.Mutex
+	conns      map[net.Conn]struct{}
+	bcasts     map[uint32][]byte
+	bcastOrder []uint32 // insertion order, for oldest-first eviction
+	nextID     uint32
+	closed     bool
+	draining   bool
+	started    bool
+
+	connErrs  atomic.Int64
+	idleDrops atomic.Int64
+	evictions atomic.Int64
+	wg        sync.WaitGroup
 }
 
 // Listen binds a server to the address without accepting connections
@@ -87,6 +122,15 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
+	if s.IdleTimeout == 0 {
+		s.IdleTimeout = DefaultIdleTimeout
+	}
+	if s.WriteTimeout == 0 {
+		s.WriteTimeout = DefaultWriteTimeout
+	}
+	if s.MaxBroadcasts == 0 {
+		s.MaxBroadcasts = DefaultMaxBroadcasts
+	}
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -103,10 +147,19 @@ func (s *Server) Network() string { return s.network }
 // (clients that vanished mid-frame, protocol violations).
 func (s *Server) ConnErrors() int64 { return s.connErrs.Load() }
 
-// Close shuts the server down: the listener closes (unlinking the
-// socket file on unix), every open connection is torn down, and all
-// handler goroutines are joined. A second Close returns
-// ErrServerClosed.
+// IdleDrops returns how many connections were dropped by the idle
+// read deadline (not errors; clients reconnect transparently).
+func (s *Server) IdleDrops() int64 { return s.idleDrops.Load() }
+
+// BroadcastEvictions returns how many stored broadcasts were evicted
+// oldest-first to honour MaxBroadcasts.
+func (s *Server) BroadcastEvictions() int64 { return s.evictions.Load() }
+
+// Close shuts the server down immediately: the listener closes
+// (unlinking the socket file on unix), every open connection is torn
+// down, and all handler goroutines are joined. A second Close (or a
+// Close after Shutdown) returns ErrServerClosed. For a graceful stop
+// that lets in-flight requests finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -121,6 +174,38 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: the listener closes (no new
+// connections), connections currently serving a request finish the
+// request/response exchange in flight, idle connections are released,
+// and every handler goroutine is joined — all within roughly the given
+// grace period, enforced by a read deadline on every connection. A
+// second Shutdown (or one after Close) returns ErrServerClosed.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.closed = true
+	s.draining = true
+	err := s.ln.Close()
+	deadline := time.Now().Add(grace)
+	for c := range s.conns {
+		// Wake handlers blocked between requests; one already mid-frame
+		// gets until the deadline to finish its exchange.
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func (s *Server) acceptLoop() {
@@ -174,9 +259,10 @@ func (s *Server) connError(err error) {
 	}
 }
 
-// serveConn answers one connection's requests until it closes. The
-// per-conn Frame is reused across requests, so steady-state serving
-// allocates only when a payload outgrows every previous one.
+// serveConn answers one connection's requests until it closes, idles
+// out, or the server drains. The per-conn Frame is reused across
+// requests, so steady-state serving allocates only when a payload
+// outgrows every previous one.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(c)
@@ -184,12 +270,30 @@ func (s *Server) serveConn(c net.Conn) {
 	bw := bufio.NewWriterSize(c, 32<<10)
 	var f Frame
 	for {
+		// Re-arm the idle deadline under the server mutex so it cannot
+		// overwrite the drain deadline Shutdown installs (Shutdown flips
+		// draining and sets deadlines in one critical section).
+		s.mu.Lock()
+		if !s.draining && s.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		s.mu.Unlock()
 		if err := ReadFrame(br, &f); err != nil {
-			if err == io.EOF {
-				return // clean disconnect between frames
+			switch {
+			case err == io.EOF:
+				// clean disconnect between frames
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				// idle timeout or drain deadline: policy, not an error
+				s.idleDrops.Add(1)
+			case s.isDraining():
+				// late failure during drain: the conn was torn down under us
+			default:
+				s.connError(fmt.Errorf("rpc: conn %s: %w", c.RemoteAddr(), err))
 			}
-			s.connError(fmt.Errorf("rpc: conn %s: %w", c.RemoteAddr(), err))
 			return
+		}
+		if s.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		var err error
 		switch f.Type {
@@ -223,25 +327,40 @@ func (s *Server) serveConn(c net.Conn) {
 			err = bw.Flush()
 		}
 		if err != nil {
-			s.connError(fmt.Errorf("rpc: conn %s: write response: %w", c.RemoteAddr(), err))
+			if !s.isDraining() {
+				s.connError(fmt.Errorf("rpc: conn %s: write response: %w", c.RemoteAddr(), err))
+			}
 			return
+		}
+		if s.isDraining() {
+			return // request in flight answered; drain the connection
 		}
 	}
 }
 
 // storeBcast copies the payload (the caller's frame buffer is reused)
-// and registers it under a fresh id. A broadcast whose MsgBcastOpened
-// response never reached the client (connection lost mid-exchange, the
-// open then replayed on a fresh connection) is orphaned until server
-// shutdown — bounded by one payload per reconnect event, and workers
-// are per-run in the intended deployment.
+// and registers it under a fresh id, evicting the oldest stored
+// broadcast when the bounded store is full. A broadcast whose
+// MsgBcastOpened response never reached the client (connection lost
+// mid-exchange, the open then replayed on a fresh connection) is
+// orphaned until it ages out of the bounded store.
 func (s *Server) storeBcast(payload []byte) uint32 {
 	data := make([]byte, len(payload))
 	copy(data, payload)
 	s.mu.Lock()
+	max := s.MaxBroadcasts
+	if max <= 0 {
+		max = DefaultMaxBroadcasts
+	}
+	for len(s.bcastOrder) >= max {
+		delete(s.bcasts, s.bcastOrder[0])
+		s.bcastOrder = s.bcastOrder[1:]
+		s.evictions.Add(1)
+	}
 	s.nextID++
 	id := s.nextID
 	s.bcasts[id] = data
+	s.bcastOrder = append(s.bcastOrder, id)
 	s.mu.Unlock()
 	return id
 }
@@ -255,6 +374,14 @@ func (s *Server) loadBcast(id uint32) ([]byte, bool) {
 
 func (s *Server) dropBcast(id uint32) {
 	s.mu.Lock()
-	delete(s.bcasts, id)
+	if _, ok := s.bcasts[id]; ok {
+		delete(s.bcasts, id)
+		for i, v := range s.bcastOrder {
+			if v == id {
+				s.bcastOrder = append(s.bcastOrder[:i], s.bcastOrder[i+1:]...)
+				break
+			}
+		}
+	}
 	s.mu.Unlock()
 }

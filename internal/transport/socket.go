@@ -26,10 +26,12 @@ import (
 // mode (transport.Dial) connects to an external worker (cmd/ciaworker)
 // and the same round spans OS processes.
 //
-// Like Wire, Socket panics on codec or network failures: the transport
-// has no error path by contract (message loss is modelled explicitly
-// by the simulators' LossProb/DropoutProb), and a worker that vanishes
-// mid-round leaves the simulation unable to continue correctly.
+// Like Wire, Socket panics on codec failures — the bytes come from the
+// matching encoder, so a parse failure is a bug. Network failures are a
+// runtime condition, handled by the client's RetryPolicy: a round-trip
+// that exhausts its attempts surfaces as a transfer error (wrapping
+// rpc.ErrUnavailable) for the simulators to treat as a lost message or
+// unreachable participant.
 type Socket struct {
 	counters
 	name string
@@ -44,7 +46,7 @@ var _ Transport = (*Socket)(nil)
 // newLoopbackSocket starts an in-process rpc.Server on the given
 // network ("unix" on a fresh temp-dir socket path, "tcp" on a
 // kernel-assigned loopback port) and connects a Socket to it.
-func newLoopbackSocket(network string) (*Socket, error) {
+func newLoopbackSocket(network string, policy rpc.RetryPolicy) (*Socket, error) {
 	var addr, dir string
 	switch network {
 	case "unix":
@@ -66,7 +68,7 @@ func newLoopbackSocket(network string) (*Socket, error) {
 		}
 		return nil, err
 	}
-	t, err := dialSocket(network, srv.Addr())
+	t, err := dialSocket(network, srv.Addr(), policy)
 	if err != nil {
 		srv.Close()
 		if dir != "" {
@@ -80,8 +82,8 @@ func newLoopbackSocket(network string) (*Socket, error) {
 }
 
 // dialSocket connects a Socket to an already-running server.
-func dialSocket(network, addr string) (*Socket, error) {
-	cl, err := rpc.Dial(network, addr)
+func dialSocket(network, addr string, policy rpc.RetryPolicy) (*Socket, error) {
+	cl, err := rpc.DialPolicy(network, addr, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +103,9 @@ func (t *Socket) Stats() Stats {
 	st := t.counters.Stats()
 	st.RoundTrips = t.cl.RoundTrips()
 	st.Reconnects = t.cl.Reconnects()
+	st.Retries = t.cl.Retries()
+	st.Timeouts = t.cl.Timeouts()
+	st.GaveUp = t.cl.GaveUp()
 	return st
 }
 
@@ -152,8 +157,12 @@ func decodeFrame(f *rpc.Frame, dst *param.Set) error {
 
 // Send implements Transport: marshal, round-trip the bytes through the
 // RPC server, recycle the sender's set, and unmarshal the relayed
-// response into a pool-recycled set of the same structure.
-func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) *param.Set {
+// response into a pool-recycled set of the same structure. On RPC
+// failure (the server stayed unreachable through the RetryPolicy) the
+// payload has already been recycled, the receive set is returned to
+// the pool, and the error surfaces for the simulator to treat as a
+// lost message.
+func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) (*param.Set, error) {
 	buf, n := t.encode(payload)
 	recv := pool.GetShaped(payload)
 	if recv == nil {
@@ -168,19 +177,20 @@ func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) 
 		}
 		return decodeFrame(f, recv)
 	})
-	if err != nil {
-		panic(fmt.Sprintf("transport: socket send: %v", err))
-	}
 	t.bufs.Put(buf)
+	if err != nil {
+		pool.Put(recv)
+		return nil, fmt.Errorf("transport: socket send: %w", err)
+	}
 	t.messages.Add(1)
 	t.bytes.Add(n)
 	t.chunks.Add(1)
-	return recv
+	return recv, nil
 }
 
 // OpenBroadcast implements Transport: upload the encoded source once;
 // every Deliver downloads and decodes it.
-func (t *Socket) OpenBroadcast(round int, src *param.Set) Broadcast {
+func (t *Socket) OpenBroadcast(round int, src *param.Set) (Broadcast, error) {
 	buf, n := t.encode(src)
 	var id uint32
 	err := t.cl.RoundTrip(rpc.MsgBcastOpen, uint32(round), 0, buf.Bytes(), func(f *rpc.Frame) error {
@@ -190,11 +200,11 @@ func (t *Socket) OpenBroadcast(round int, src *param.Set) Broadcast {
 		id = f.ID
 		return nil
 	})
-	if err != nil {
-		panic(fmt.Sprintf("transport: socket broadcast open: %v", err))
-	}
 	t.bufs.Put(buf)
-	return &socketBroadcast{t: t, round: uint32(round), id: id, n: n}
+	if err != nil {
+		return nil, fmt.Errorf("transport: socket broadcast open: %w", err)
+	}
+	return &socketBroadcast{t: t, round: uint32(round), id: id, n: n}, nil
 }
 
 type socketBroadcast struct {
@@ -205,8 +215,10 @@ type socketBroadcast struct {
 }
 
 // Deliver downloads the stored broadcast payload into dst. Concurrent
-// Delivers each ride their own pooled connection.
-func (b *socketBroadcast) Deliver(dst *param.Set) {
+// Delivers each ride their own pooled connection. On RPC failure dst
+// is unchanged and the error surfaces for the simulator to treat as an
+// unreachable receiver.
+func (b *socketBroadcast) Deliver(_ int, dst *param.Set) error {
 	err := b.t.cl.RoundTrip(rpc.MsgBcastGet, b.round, b.id, nil, func(f *rpc.Frame) error {
 		if f.Type != rpc.MsgBcastData {
 			return fmt.Errorf("unexpected response type %d to broadcast get", f.Type)
@@ -214,22 +226,22 @@ func (b *socketBroadcast) Deliver(dst *param.Set) {
 		return decodeFrame(f, dst)
 	})
 	if err != nil {
-		panic(fmt.Sprintf("transport: socket broadcast deliver: %v", err))
+		return fmt.Errorf("transport: socket broadcast deliver: %w", err)
 	}
 	b.t.bMessages.Add(1)
 	b.t.bBytes.Add(b.n)
 	b.t.chunks.Add(1)
+	return nil
 }
 
-// Close releases the server-side broadcast storage.
+// Close releases the server-side broadcast storage. A close that fails
+// (server unreachable) is tolerated silently: the server's bounded
+// broadcast store evicts the orphaned entry on its own.
 func (b *socketBroadcast) Close() {
-	err := b.t.cl.RoundTrip(rpc.MsgBcastClose, b.round, b.id, nil, func(f *rpc.Frame) error {
+	b.t.cl.RoundTrip(rpc.MsgBcastClose, b.round, b.id, nil, func(f *rpc.Frame) error {
 		if f.Type != rpc.MsgBcastClosed {
 			return fmt.Errorf("unexpected response type %d to broadcast close", f.Type)
 		}
 		return nil
 	})
-	if err != nil {
-		panic(fmt.Sprintf("transport: socket broadcast close: %v", err))
-	}
 }

@@ -22,7 +22,10 @@ func TestSocketSendRoundTripsValues(t *testing.T) {
 			var pool param.Buffers
 			payload := testSet(1)
 			want := payload.Clone()
-			got := tr.Send(3, 7, payload, &pool)
+			got, err := tr.Send(3, 7, payload, &pool)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if got == payload {
 				t.Fatal("socket Send must not return the sender's set")
 			}
@@ -36,9 +39,14 @@ func TestSocketSendRoundTripsValues(t *testing.T) {
 			if st.RoundTrips != 1 {
 				t.Fatalf("round-trips = %d, want 1", st.RoundTrips)
 			}
-			bc := tr.OpenBroadcast(4, want)
+			bc, err := tr.OpenBroadcast(4, want)
+			if err != nil {
+				t.Fatal(err)
+			}
 			dst := testSet(0)
-			bc.Deliver(dst)
+			if err := bc.Deliver(0, dst); err != nil {
+				t.Fatal(err)
+			}
 			bc.Close()
 			if !param.Equal(want, dst, 0) {
 				t.Fatal("socket broadcast changed values")
@@ -70,7 +78,10 @@ func TestSocketDialExternal(t *testing.T) {
 	defer tr.Close()
 	var pool param.Buffers
 	want := testSet(2)
-	got := tr.Send(0, 0, pool.Clone(want), &pool)
+	got, err := tr.Send(0, 0, pool.Clone(want), &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !param.Equal(want, got, 0) {
 		t.Fatal("dialed socket Send changed values")
 	}

@@ -5,7 +5,7 @@
 // engine plugs in — the simulators speak only to the Transport
 // interface, never to each other's memory.
 //
-// Four backends ship today:
+// Five backends ship today:
 //
 //   - Inproc passes payload pointers through unchanged — the
 //     historical in-memory behaviour, byte-identical to the
@@ -26,15 +26,33 @@
 //     process boundaries. Results remain byte-identical — the
 //     cross-backend equivalence suites in internal/fed and
 //     internal/gossip hold every backend to tolerance 0.
+//   - Faulty ("faulty:<inner>", e.g. "faulty:wire") wraps any other
+//     backend and injects deterministic, seed-driven failures — lost
+//     sends, failed broadcast downloads, per-round participant
+//     blackouts — from a declarative FaultPlan, so every chaos
+//     scenario is reproducible from a (seed, plan) pair.
 //
 // # Contract
 //
-// Ownership: Send consumes its payload — the caller must not touch it
-// afterwards. Inproc returns the same set; the serializing backends
-// recycle the payload into the caller's param.Buffers pool and return
-// a decoded copy drawn from that pool. Either way the caller owns the
-// returned set and recycles it (pool.Put) once the receiver has
-// consumed it. Broadcast handles borrow src only until Close.
+// Ownership: Send consumes its payload whether or not it succeeds —
+// the caller must not touch it afterwards. Inproc returns the same
+// set; the serializing backends recycle the payload into the caller's
+// param.Buffers pool and return a decoded copy drawn from that pool.
+// Either way the caller owns the returned set and recycles it
+// (pool.Put) once the receiver has consumed it. On error the payload
+// has been recycled and the returned set is nil. Broadcast handles
+// borrow src only until Close.
+//
+// Errors: transfers can fail — that is the point of the resilience
+// layer. Send and Deliver return an error when the message was lost
+// (an injected fault, or a socket round-trip that exhausted its
+// RetryPolicy and surfaced rpc.ErrUnavailable); OpenBroadcast returns
+// an error when the fan-out source could not be staged. The in-memory
+// backends never fail (codec bugs still panic: bytes produced by the
+// matching encoder in the same process can only fail to parse if the
+// codec itself is broken). The simulators treat transfer errors as
+// protocol events — a lost upload, an unreachable participant — never
+// as panics.
 //
 // Marshalling time: Send and Broadcast.Deliver are called from inside
 // the simulators' parallel regions (parx.ForEach), so the serializing
@@ -48,10 +66,11 @@
 // set is bit-identical to the sent one — float64 survives the codec
 // exactly) and safe for concurrent use; traffic counters are atomic
 // sums, so totals are independent of worker interleaving. A transport
-// must not source randomness or reorder messages: delivery order
-// stays the simulators' responsibility (order-sensitive effects happen
-// sequentially between parallel phases, indexed by item, per the
-// internal/parx discipline).
+// must not source free-running randomness or reorder messages:
+// delivery order stays the simulators' responsibility, and the Faulty
+// wrapper draws every fault decision from counter-based streams keyed
+// by (plan seed, round, participant) — pure functions, independent of
+// scheduling and of the wrapped backend.
 //
 // Lifecycle: the creator of a transport owns it — the simulators never
 // close the instance they are configured with. Close releases backend
@@ -63,10 +82,24 @@ package transport
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"github.com/collablearn/ciarec/internal/param"
+	"github.com/collablearn/ciarec/internal/transport/rpc"
 )
+
+// RetryPolicy re-exports the RPC client's retry/timeout/backoff knobs
+// so upper layers configure resilience without importing the rpc
+// package.
+type RetryPolicy = rpc.RetryPolicy
+
+// DefaultRetryPolicy re-exports the RPC client's default policy.
+func DefaultRetryPolicy() RetryPolicy { return rpc.DefaultRetryPolicy() }
+
+// ParseRetryPolicy re-exports the RPC retry-spec parser (e.g.
+// "attempts=6,backoff=5ms,timeout=2s").
+func ParseRetryPolicy(spec string) (RetryPolicy, error) { return rpc.ParseRetryPolicy(spec) }
 
 // Stats is a transport's accumulated traffic accounting.
 type Stats struct {
@@ -87,27 +120,41 @@ type Stats struct {
 	// mid-call. Both stay 0 on the in-process backends.
 	RoundTrips int64
 	Reconnects int64
+	// Retries, Timeouts and GaveUp are the RPC client's RetryPolicy
+	// counters: extra attempts spent, attempts lost to I/O deadlines,
+	// and round-trips that exhausted their attempts (surfacing
+	// rpc.ErrUnavailable). All 0 on the in-process backends.
+	Retries  int64
+	Timeouts int64
+	GaveUp   int64
+	// InjectedFaults counts failures the Faulty wrapper injected
+	// (lost sends, failed deliveries, participant blackouts).
+	InjectedFaults int64
 }
 
 // Transport moves parameter sets between protocol participants. See
-// the package documentation for the ownership, marshalling,
+// the package documentation for the ownership, error, marshalling,
 // determinism and lifecycle contract.
 type Transport interface {
-	// Name identifies the backend ("inproc", "wire", "socket", ...).
+	// Name identifies the backend ("inproc", "wire", "socket",
+	// "faulty:wire", ...).
 	Name() string
 
 	// Send transmits a point-to-point payload from the given
 	// participant in the given round, returning the set the receiver
-	// observes. It consumes payload and may draw the returned set from
-	// pool; the caller owns the result and recycles it into the same
-	// pool when the receiver is done. Safe for concurrent use.
-	Send(round, from int, payload *param.Set, pool *param.Buffers) *param.Set
+	// observes. It consumes payload — success or not — and may draw the
+	// returned set from pool; the caller owns the result and recycles
+	// it into the same pool when the receiver is done. On error the
+	// message was lost (injected fault or unreachable backend) and the
+	// returned set is nil. Safe for concurrent use.
+	Send(round, from int, payload *param.Set, pool *param.Buffers) (*param.Set, error)
 
 	// OpenBroadcast prepares src for fan-out delivery to many receivers
 	// in the given round. src is borrowed until Close and must not be
 	// mutated while the broadcast is open. Deliver may be called
-	// concurrently.
-	OpenBroadcast(round int, src *param.Set) Broadcast
+	// concurrently. On error no broadcast is open and the returned
+	// handle is nil.
+	OpenBroadcast(round int, src *param.Set) (Broadcast, error)
 
 	// Stats returns the traffic accumulated by this instance.
 	Stats() Stats
@@ -122,9 +169,12 @@ type Transport interface {
 
 // Broadcast is one message delivered to many receivers.
 type Broadcast interface {
-	// Deliver installs the broadcast payload into a receiver-owned set
-	// whose structure matches the source's. Safe for concurrent use.
-	Deliver(dst *param.Set)
+	// Deliver installs the broadcast payload into receiver to's set,
+	// whose structure must match the source's. On error the receiver
+	// did not obtain the payload (injected fault or unreachable
+	// backend) and dst is unspecified — the receiver must not use it.
+	// Safe for concurrent use.
+	Deliver(to int, dst *param.Set) error
 	// Close releases the broadcast's resources.
 	Close()
 }
@@ -146,17 +196,43 @@ func (c *counters) Stats() Stats {
 	}
 }
 
-// Names lists the backend names New accepts (the empty string selects
-// inproc).
+// Options carries the resilience configuration a backend is built
+// with. The zero value selects the defaults everywhere.
+type Options struct {
+	// Plan, when non-nil, wraps the backend in a Faulty fault injector
+	// driven by this plan (the "faulty:" name prefix does the same with
+	// DefaultFaultPlan when Plan is nil).
+	Plan *FaultPlan
+	// Retry overrides the socket backends' RPC RetryPolicy (nil keeps
+	// rpc.DefaultRetryPolicy). Ignored by the in-memory backends,
+	// which cannot fail.
+	Retry *RetryPolicy
+}
+
+func (o Options) retry() rpc.RetryPolicy {
+	if o.Retry != nil {
+		return *o.Retry
+	}
+	return rpc.RetryPolicy{}
+}
+
+// FaultyPrefix is the name prefix selecting the fault-injection
+// wrapper: "faulty:<inner>" builds <inner> and wraps it in a Faulty.
+const FaultyPrefix = "faulty:"
+
+// Names lists the base backend names New accepts (the empty string
+// selects inproc). Any of them can additionally be wrapped in the
+// fault injector via the "faulty:" prefix, e.g. "faulty:wire".
 func Names() []string {
 	return []string{"inproc", "wire", "wire-chunked", "socket", "socket-tcp"}
 }
 
-// Known reports whether name selects a backend (the empty string
-// counts: it selects inproc). Use it to validate configuration without
-// instantiating anything — New on a socket backend starts a loopback
-// server.
+// Known reports whether name selects a backend — a base name, the
+// empty string (inproc), or a "faulty:"-prefixed base name. Use it to
+// validate configuration without instantiating anything — New on a
+// socket backend starts a loopback server.
 func Known(name string) bool {
+	name = strings.TrimPrefix(name, FaultyPrefix)
 	if name == "" {
 		return true
 	}
@@ -171,37 +247,79 @@ func Known(name string) bool {
 // New builds a fresh transport instance for a backend name: "inproc"
 // (or ""), "wire", "wire-chunked" (wire with DefaultChunkBytes
 // framing), "socket" (RPC over an in-process loopback Unix-domain
-// socket server) or "socket-tcp" (the same over loopback TCP). Each
-// call returns an independent instance with its own stats; the caller
-// owns the instance and Closes it when the simulation is done. To
-// reach an external worker process instead of a loopback server, use
-// Dial.
+// socket server), "socket-tcp" (the same over loopback TCP), or any of
+// those behind the "faulty:" fault-injection prefix. Each call returns
+// an independent instance with its own stats; the caller owns the
+// instance and Closes it when the simulation is done. To reach an
+// external worker process instead of a loopback server, use Dial; to
+// attach a FaultPlan or RetryPolicy, use NewOptions.
 func New(name string) (Transport, error) {
-	switch name {
+	return NewOptions(name, Options{})
+}
+
+// NewOptions is New with explicit resilience options.
+func NewOptions(name string, o Options) (Transport, error) {
+	inner, wrap := strings.CutPrefix(name, FaultyPrefix)
+	var t Transport
+	var err error
+	switch inner {
 	case "", "inproc":
-		return NewInproc(), nil
+		t = NewInproc()
 	case "wire":
-		return NewWire(), nil
+		t = NewWire()
 	case "wire-chunked":
-		return NewChunkedWire(DefaultChunkBytes), nil
+		t = NewChunkedWire(DefaultChunkBytes)
 	case "socket":
-		return newLoopbackSocket("unix")
+		t, err = newLoopbackSocket("unix", o.retry())
 	case "socket-tcp":
-		return newLoopbackSocket("tcp")
+		t, err = newLoopbackSocket("tcp", o.retry())
+	default:
+		return nil, fmt.Errorf("transport: unknown backend %q (have %v, optionally behind %q)",
+			name, Names(), FaultyPrefix)
 	}
-	return nil, fmt.Errorf("transport: unknown backend %q (have %v)", name, Names())
+	if err != nil {
+		return nil, err
+	}
+	return maybeFaulty(t, wrap, o.Plan), nil
 }
 
 // Dial connects a socket backend to an external RPC worker (a
 // `ciaworker` process) instead of a loopback server: "socket" dials a
-// Unix-domain socket path, "socket-tcp" a TCP host:port. The in-process
-// backends have no address to dial and are rejected.
+// Unix-domain socket path, "socket-tcp" a TCP host:port; both accept
+// the "faulty:" prefix. The in-process backends have no address to
+// dial and are rejected.
 func Dial(name, addr string) (Transport, error) {
-	switch name {
+	return DialOptions(name, addr, Options{})
+}
+
+// DialOptions is Dial with explicit resilience options.
+func DialOptions(name, addr string, o Options) (Transport, error) {
+	inner, wrap := strings.CutPrefix(name, FaultyPrefix)
+	var t Transport
+	var err error
+	switch inner {
 	case "socket":
-		return dialSocket("unix", addr)
+		t, err = dialSocket("unix", addr, o.retry())
 	case "socket-tcp":
-		return dialSocket("tcp", addr)
+		t, err = dialSocket("tcp", addr, o.retry())
+	default:
+		return nil, fmt.Errorf("transport: backend %q cannot dial an address (want socket or socket-tcp)", name)
 	}
-	return nil, fmt.Errorf("transport: backend %q cannot dial an address (want socket or socket-tcp)", name)
+	if err != nil {
+		return nil, err
+	}
+	return maybeFaulty(t, wrap, o.Plan), nil
+}
+
+// maybeFaulty wraps t in the fault injector when the name carried the
+// "faulty:" prefix or an explicit plan was supplied.
+func maybeFaulty(t Transport, wrap bool, plan *FaultPlan) Transport {
+	if plan == nil {
+		if !wrap {
+			return t
+		}
+		p := DefaultFaultPlan()
+		plan = &p
+	}
+	return NewFaulty(t, *plan)
 }

@@ -61,7 +61,10 @@ func TestInprocSendPassesPointerThrough(t *testing.T) {
 	tr := NewInproc()
 	var pool param.Buffers
 	payload := testSet(1)
-	got := tr.Send(0, 0, payload, &pool)
+	got, err := tr.Send(0, 0, payload, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != payload {
 		t.Fatal("inproc Send must return the same set")
 	}
@@ -77,7 +80,10 @@ func TestWireSendRoundTripsValues(t *testing.T) {
 			var pool param.Buffers
 			payload := testSet(1)
 			want := payload.Clone()
-			got := tr.Send(0, 0, payload, &pool)
+			got, err := tr.Send(0, 0, payload, &pool)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if got == payload {
 				t.Fatal("wire Send must not return the sender's set")
 			}
@@ -98,7 +104,7 @@ func TestWireSendRoundTripsValues(t *testing.T) {
 func TestWireSendDoesNotAlias(t *testing.T) {
 	tr := NewWire()
 	payload := testSet(1)
-	got := tr.Send(0, 0, payload, nil) // nil pool: Send falls back to allocation
+	got, _ := tr.Send(0, 0, payload, nil) // nil pool: Send falls back to allocation
 	payload.Get("item_emb")[0] = 1e9
 	if got.Get("item_emb")[0] == 1e9 {
 		t.Fatal("received set aliases sender storage")
@@ -113,7 +119,10 @@ func TestChunkedWireAccounting(t *testing.T) {
 	var pool param.Buffers
 	payload := testSet(1)
 	wire := int64(payload.WireBytes())
-	got := tr.Send(0, 0, payload, &pool)
+	got, err := tr.Send(0, 0, payload, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !param.Equal(testSet(1), got, 0) {
 		t.Fatal("chunked send changed values")
 	}
@@ -136,10 +145,15 @@ func TestBroadcastDelivers(t *testing.T) {
 			}
 			defer tr.Close()
 			src := testSet(2)
-			bc := tr.OpenBroadcast(0, src)
+			bc, err := tr.OpenBroadcast(0, src)
+			if err != nil {
+				t.Fatal(err)
+			}
 			dsts := []*param.Set{testSet(0), testSet(-1), testSet(7)}
-			for _, dst := range dsts {
-				bc.Deliver(dst)
+			for i, dst := range dsts {
+				if err := bc.Deliver(i, dst); err != nil {
+					t.Fatal(err)
+				}
 			}
 			bc.Close()
 			for i, dst := range dsts {
@@ -171,8 +185,13 @@ func TestBroadcastDeliverPreservesAliasing(t *testing.T) {
 		src := testSet(3)
 		dst := testSet(0)
 		backing := dst.Get("item_emb")
-		bc := tr.OpenBroadcast(0, src)
-		bc.Deliver(dst)
+		bc, err := tr.OpenBroadcast(0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.Deliver(0, dst); err != nil {
+			t.Fatal(err)
+		}
 		bc.Close()
 		if &backing[0] != &dst.Get("item_emb")[0] {
 			t.Fatalf("%s: Deliver replaced the destination's backing storage", name)
@@ -195,7 +214,10 @@ func TestConcurrentUse(t *testing.T) {
 			defer tr.Close()
 			var pool param.Buffers
 			src := testSet(5)
-			bc := tr.OpenBroadcast(0, src)
+			bc, err := tr.OpenBroadcast(0, src)
+			if err != nil {
+				t.Fatal(err)
+			}
 			const goroutines = 8
 			const perG = 20
 			var wg sync.WaitGroup
@@ -205,8 +227,13 @@ func TestConcurrentUse(t *testing.T) {
 					defer wg.Done()
 					dst := testSet(0)
 					for i := 0; i < perG; i++ {
-						bc.Deliver(dst)
-						got := tr.Send(0, 0, pool.Clone(src), &pool)
+						if err := bc.Deliver(g, dst); err != nil {
+							panic(err)
+						}
+						got, err := tr.Send(0, 0, pool.Clone(src), &pool)
+						if err != nil {
+							panic(err)
+						}
 						if !param.Equal(src, got, 0) || !param.Equal(src, dst, 0) {
 							panic("concurrent transfer corrupted values")
 						}
@@ -232,12 +259,19 @@ func TestWireSendReusesPool(t *testing.T) {
 	}
 	tr := NewWire()
 	var pool param.Buffers
+	send := func() *param.Set {
+		got, err := tr.Send(0, 0, pool.Clone(testSet(1)), &pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
 	// Warm: first sends populate the free-list.
 	for i := 0; i < 4; i++ {
-		pool.Put(tr.Send(0, 0, pool.Clone(testSet(1)), &pool))
+		pool.Put(send())
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		pool.Put(tr.Send(0, 0, pool.Clone(testSet(1)), &pool))
+		pool.Put(send())
 	})
 	// testSet itself allocates ~10; the transfer should add ~0. Allow
 	// slack for pool misses under GC.

@@ -25,8 +25,9 @@ const DefaultChunkBytes = 4096
 //
 // Wire panics on codec errors: the bytes were produced by the matching
 // encoder in the same process, so a failure is a codec bug, not a
-// runtime condition (message loss is modelled explicitly by the
-// simulators' LossProb/DropoutProb, never by the transport).
+// runtime condition. Its transfer methods therefore always return nil
+// errors — message loss is injected by the Faulty wrapper or modelled
+// by the simulators' LossProb/DropoutProb, never by this backend.
 type Wire struct {
 	counters
 	chunkBytes int
@@ -97,7 +98,7 @@ func (t *Wire) frames(n int64) int64 {
 
 // Send implements Transport: marshal, recycle the sender's set, and
 // unmarshal into a pool-recycled set of the same structure.
-func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) *param.Set {
+func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) (*param.Set, error) {
 	buf, n := t.encode(payload)
 	recv := pool.GetShaped(payload)
 	if recv == nil {
@@ -111,14 +112,14 @@ func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) *param.Se
 	t.messages.Add(1)
 	t.bytes.Add(n)
 	t.chunks.Add(t.frames(n))
-	return recv
+	return recv, nil
 }
 
 // OpenBroadcast implements Transport: encode src once; every Deliver
 // decodes the shared bytes into its receiver's set.
-func (t *Wire) OpenBroadcast(_ int, src *param.Set) Broadcast {
+func (t *Wire) OpenBroadcast(_ int, src *param.Set) (Broadcast, error) {
 	buf, n := t.encode(src)
-	return &wireBroadcast{t: t, buf: buf, n: n}
+	return &wireBroadcast{t: t, buf: buf, n: n}, nil
 }
 
 type wireBroadcast struct {
@@ -129,11 +130,12 @@ type wireBroadcast struct {
 
 // Deliver decodes the broadcast bytes into dst. Concurrent Delivers
 // share the read-only encoded buffer through per-call readers.
-func (b *wireBroadcast) Deliver(dst *param.Set) {
+func (b *wireBroadcast) Deliver(_ int, dst *param.Set) error {
 	b.t.decode(b.buf.Bytes(), dst)
 	b.t.bMessages.Add(1)
 	b.t.bBytes.Add(b.n)
 	b.t.chunks.Add(b.t.frames(b.n))
+	return nil
 }
 
 func (b *wireBroadcast) Close() {

@@ -3,11 +3,14 @@ package ciarec
 import (
 	"fmt"
 	"math"
+	"strings"
+	"time"
 
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/experiments"
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/transport"
 )
 
 // Defense selects a mitigation strategy (§III-D, §III-E). The zero
@@ -109,6 +112,28 @@ type RunConfig struct {
 	// path for TransportSocket, a host:port for TransportSocketTCP.
 	// Requires one of the socket transports.
 	TransportAddr string
+	// Faults is a deterministic fault-injection spec, e.g.
+	// "seed=7,drop=0.05,send-loss=0.05,slow=0.1,slow-latency=500ms" or
+	// "default": the run's transport is wrapped in the seed-driven
+	// fault injector and the simulators apply the same plan's straggler
+	// latencies. A (Seed, Faults) pair reproduces the chaos run exactly
+	// on every backend. Empty disables injection. Alternatively prefix
+	// the Transport kind with "faulty:" for the default plan.
+	Faults string
+	// Retry tunes the socket transports' RPC retry policy, e.g.
+	// "attempts=6,backoff=5ms,timeout=2s". Empty keeps the defaults
+	// (4 attempts, capped jittered exponential backoff, 30s deadline).
+	Retry string
+	// StragglerDeadline is the FL server's per-round upload deadline:
+	// uploads whose fault-plan latency exceeds it are observed by the
+	// adversary but excluded from aggregation. 0 disables. Ignored
+	// under gossip protocols.
+	StragglerDeadline time.Duration
+	// Quorum is the minimum fraction of sampled clients whose uploads
+	// must arrive in time for the FL round to aggregate; below it the
+	// round keeps the previous global model. 0 disables. Ignored under
+	// gossip protocols.
+	Quorum float64
 
 	// Rounds defaults to 25 for FL and 80 for gossip.
 	Rounds int
@@ -197,6 +222,19 @@ func (c *RunConfig) spec() experiments.Spec {
 	s.Seed = c.Seed
 	s.Transport = string(c.Transport)
 	s.TransportAddr = c.TransportAddr
+	if c.Faults != "" {
+		// Parse errors were caught by normalize.
+		if p, err := transport.ParseFaultPlan(c.Faults); err == nil && p.Enabled() {
+			s.FaultPlan = &p
+		}
+	}
+	if c.Retry != "" {
+		if rp, err := transport.ParseRetryPolicy(c.Retry); err == nil {
+			s.Retry = &rp
+		}
+	}
+	s.StragglerDeadline = c.StragglerDeadline
+	s.Quorum = c.Quorum
 	return s
 }
 
@@ -235,14 +273,27 @@ func (c *RunConfig) normalize() error {
 	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
 		return fmt.Errorf("ciarec: DropoutProb %v out of [0,1)", c.DropoutProb)
 	}
-	switch c.Transport {
-	case "", TransportInproc, TransportWire, TransportWireChunked,
-		TransportSocket, TransportSocketTCP:
-	default:
+	if !transport.Known(string(c.Transport)) {
 		return fmt.Errorf("ciarec: unknown transport %q", c.Transport)
 	}
-	if c.TransportAddr != "" && c.Transport != TransportSocket && c.Transport != TransportSocketTCP {
-		return fmt.Errorf("ciarec: TransportAddr requires a socket transport, got %q", c.Transport)
+	if c.TransportAddr != "" {
+		switch TransportKind(strings.TrimPrefix(string(c.Transport), transport.FaultyPrefix)) {
+		case TransportSocket, TransportSocketTCP:
+		default:
+			return fmt.Errorf("ciarec: TransportAddr requires a socket transport, got %q", c.Transport)
+		}
+	}
+	if _, err := transport.ParseFaultPlan(c.Faults); err != nil {
+		return fmt.Errorf("ciarec: Faults: %w", err)
+	}
+	if _, err := transport.ParseRetryPolicy(c.Retry); err != nil {
+		return fmt.Errorf("ciarec: Retry: %w", err)
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("ciarec: Quorum %v out of [0,1]", c.Quorum)
+	}
+	if c.StragglerDeadline < 0 {
+		return fmt.Errorf("ciarec: StragglerDeadline %v is negative", c.StragglerDeadline)
 	}
 	return nil
 }
