@@ -2,15 +2,35 @@ GO ?= go
 # benchstat needs several samples per benchmark to compute intervals.
 BENCH_COUNT ?= 6
 
-.PHONY: all build vet test race fuzz chaos bench bench-tables bench-compare
+.PHONY: all build vet lint test race fuzz chaos bench bench-tables bench-compare
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: standard vet, then the in-repo cialint
+# suite (detrand, mapiter, poolleak, mathxseam — see ANALYSIS.md) as a
+# -vettool plus the Makefile/chaos-suite sync check, then the pinned
+# external tools when they are installed (tools/tools.go documents the
+# pinned install; offline checkouts get a skip notice, not a failure).
+lint: vet
+	$(GO) build -o bin/cialint ./cmd/cialint
+	$(GO) vet -vettool=$(abspath bin/cialint) ./...
+	bin/cialint -chaos-sync
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH; skipping (see tools/tools.go for the pinned install)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not on PATH; skipping (see tools/tools.go for the pinned install)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// runChaosSync keeps `make chaos` honest: the target hand-picks
+// resilience tests with a -run regex, and a new fault-injection test
+// whose name misses every alternative silently drops out of the chaos
+// gate. The check enforces both directions over the packages the
+// Makefile target lists:
+//
+//  1. every Test function defined in a resilience-suite file
+//     (*resilience*_test.go, *faulty*_test.go, *chaos*_test.go) must
+//     be matched by the -run regex, and
+//  2. every alternative in the regex must still match at least one
+//     test (no dead selectors), except the reserved marker prefix
+//     "Resilience" which names the suite and is kept so new tests can
+//     adopt it without a Makefile edit.
+var chaosSuiteFile = regexp.MustCompile(`(resilience|faulty|chaos)[^/]*_test\.go$`)
+
+const reservedChaosPrefix = "Resilience"
+
+func runChaosSync(root string) error {
+	mk, err := os.ReadFile(filepath.Join(root, "Makefile"))
+	if err != nil {
+		return err
+	}
+	runRE, pkgs, err := parseChaosTarget(string(mk))
+	if err != nil {
+		return err
+	}
+	re, err := regexp.Compile(runRE)
+	if err != nil {
+		return fmt.Errorf("chaos -run regex does not compile: %v", err)
+	}
+
+	var problems []string
+	matchedAlt := map[string]bool{}
+	alts := splitAlternatives(runRE)
+	for _, pkg := range pkgs {
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pkg, "./")))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("chaos target lists %s but %v", pkg, err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			names, err := testFuncNames(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			inSuiteFile := chaosSuiteFile.MatchString(e.Name())
+			for _, name := range names {
+				if re.MatchString(name) || strings.HasPrefix(name, "Test"+reservedChaosPrefix) {
+					for _, alt := range alts {
+						if strings.Contains(name, alt) {
+							matchedAlt[alt] = true
+						}
+					}
+					continue
+				}
+				if inSuiteFile {
+					problems = append(problems, fmt.Sprintf(
+						"%s/%s: %s is in a resilience-suite file but the make chaos -run regex does not select it",
+						pkg, e.Name(), name))
+				}
+			}
+		}
+	}
+	for _, alt := range alts {
+		if alt == reservedChaosPrefix {
+			continue
+		}
+		if !matchedAlt[alt] {
+			problems = append(problems, fmt.Sprintf(
+				"make chaos -run alternative %q matches no test in the listed packages (dead selector: tighten or remove it)", alt))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("chaos selection out of sync:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// parseChaosTarget extracts the -run='…' regex and the ./pkg/ list
+// from the Makefile's chaos recipe, tolerating line continuations.
+func parseChaosTarget(mk string) (runRE string, pkgs []string, err error) {
+	lines := strings.Split(mk, "\n")
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasPrefix(lines[i], "chaos:") {
+			continue
+		}
+		// Join the recipe (tab-indented lines, folding trailing \).
+		var recipe strings.Builder
+		for j := i + 1; j < len(lines) && strings.HasPrefix(lines[j], "\t"); j++ {
+			recipe.WriteString(strings.TrimSuffix(strings.TrimSpace(lines[j]), "\\"))
+			recipe.WriteString(" ")
+		}
+		text := recipe.String()
+		m := regexp.MustCompile(`-run='([^']+)'`).FindStringSubmatch(text)
+		if m == nil {
+			return "", nil, fmt.Errorf("chaos target has no -run='…' selection")
+		}
+		for _, f := range strings.Fields(text) {
+			if strings.HasPrefix(f, "./") {
+				pkgs = append(pkgs, strings.TrimSuffix(f, "/"))
+			}
+		}
+		if len(pkgs) == 0 {
+			return "", nil, fmt.Errorf("chaos target lists no ./… packages")
+		}
+		return m[1], pkgs, nil
+	}
+	return "", nil, fmt.Errorf("no chaos target in Makefile")
+}
+
+// splitAlternatives breaks a simple alternation regex (the only shape
+// the chaos target uses) into its literal branches, skipping any
+// branch that carries regex metacharacters beyond word chars.
+func splitAlternatives(re string) []string {
+	var out []string
+	for _, alt := range strings.Split(re, "|") {
+		if alt != "" && regexp.MustCompile(`^\w+$`).MatchString(alt) {
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
+// testFuncNames parses one file (declarations only are needed, but a
+// full parse keeps it simple) and returns its TestXxx function names.
+func testFuncNames(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, d := range f.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil || !strings.HasPrefix(fn.Name.Name, "Test") {
+			continue
+		}
+		names = append(names, fn.Name.Name)
+	}
+	return names, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeChaosTree lays out a minimal repo: a Makefile with a chaos
+// target selecting runRE over ./pkg/, and one resilience-suite test
+// file defining the given test functions.
+func writeChaosTree(t *testing.T, runRE string, testFuncs []string) string {
+	t.Helper()
+	root := t.TempDir()
+	mk := fmt.Sprintf("all:\n\ttrue\n\nchaos:\n\tgo test -count=1 -run='%s' \\\n\t\t./pkg/\n", runRE)
+	if err := os.WriteFile(filepath.Join(root, "Makefile"), []byte(mk), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(root, "pkg"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	var src strings.Builder
+	src.WriteString("package pkg\n\nimport \"testing\"\n")
+	for _, fn := range testFuncs {
+		fmt.Fprintf(&src, "\nfunc %s(t *testing.T) {}\n", fn)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg", "faulty_round_test.go"), []byte(src.String()), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestChaosSyncInSync(t *testing.T) {
+	root := writeChaosTree(t, "Faulty|Quorum|Resilience",
+		[]string{"TestFaultyUpload", "TestQuorumLoss"})
+	if err := runChaosSync(root); err != nil {
+		t.Fatalf("in-sync tree reported: %v", err)
+	}
+}
+
+func TestChaosSyncUnselectedTest(t *testing.T) {
+	root := writeChaosTree(t, "Faulty|Resilience",
+		[]string{"TestFaultyUpload", "TestStragglerDrain"})
+	err := runChaosSync(root)
+	if err == nil || !strings.Contains(err.Error(), "TestStragglerDrain") {
+		t.Fatalf("unselected resilience test not reported, got: %v", err)
+	}
+}
+
+func TestChaosSyncDeadAlternative(t *testing.T) {
+	root := writeChaosTree(t, "Faulty|Ghost|Resilience",
+		[]string{"TestFaultyUpload"})
+	err := runChaosSync(root)
+	if err == nil || !strings.Contains(err.Error(), `"Ghost"`) {
+		t.Fatalf("dead alternative not reported, got: %v", err)
+	}
+}
+
+// The reserved marker prefix names the suite: it is exempt from the
+// dead-alternative check and tests adopting it are always selected.
+func TestChaosSyncReservedPrefix(t *testing.T) {
+	root := writeChaosTree(t, "Faulty|Resilience",
+		[]string{"TestFaultyUpload", "TestResilienceNewFault"})
+	if err := runChaosSync(root); err != nil {
+		t.Fatalf("reserved Resilience prefix mishandled: %v", err)
+	}
+}
+
+func TestParseChaosTargetFoldsContinuations(t *testing.T) {
+	mk := "chaos:\n\tgo test -race -count=1 \\\n\t\t-run='A|B' \\\n\t\t./x/ ./y/z/\n"
+	runRE, pkgs, err := parseChaosTarget(mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runRE != "A|B" {
+		t.Fatalf("runRE = %q", runRE)
+	}
+	if len(pkgs) != 2 || pkgs[0] != "./x" || pkgs[1] != "./y/z" {
+		t.Fatalf("pkgs = %v", pkgs)
+	}
+}

@@ -1,0 +1,140 @@
+// Command cialint is the repository's invariant linter: the four
+// custom analyzers in internal/analysis (detrand, mapiter, poolleak,
+// mathxseam) behind the `go vet -vettool` unit-checker protocol.
+//
+// Usage:
+//
+//	go vet -vettool=$(pwd)/bin/cialint ./...   # preferred: build cache supplies types
+//	cialint ./...                              # convenience: re-execs go vet -vettool=self
+//	cialint -chaos-sync                        # verify Makefile chaos regex covers the suites
+//
+// The protocol half (-V=full, -flags, *.cfg) matches what cmd/go
+// expects of a vet tool: -V=full prints a content-hashed version so
+// results cache, -flags declares the flag surface, and a .cfg
+// argument names a JSON compilation-unit description whose GoFiles
+// are parsed and type-checked against the export data go vet already
+// built. Findings print as file:line:col: message (analyzer) on
+// stderr and exit 1, so both `go vet` and `make lint` fail on any
+// finding.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cialint: ")
+
+	var (
+		printFlags = flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+		jsonOut    = flag.Bool("json", false, "emit diagnostics as JSON")
+		chaosSync  = flag.Bool("chaos-sync", false, "check the Makefile chaos -run regex covers the resilience suites")
+	)
+	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `cialint statically enforces the repo's determinism, pool-recycling
+and kernel-seam invariants (see ANALYSIS.md).
+
+usage:
+	cialint [packages]     # runs go vet -vettool=cialint over the packages
+	cialint unit.cfg       # go vet protocol: analyze one compilation unit
+	cialint -chaos-sync    # check make chaos test selection is in sync
+`)
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printFlags {
+		printFlagsJSON()
+		return
+	}
+	if *chaosSync {
+		if err := runChaosSync("."); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("cialint: chaos selection in sync with the resilience suites")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], *jsonOut)
+		return
+	}
+
+	// Standalone mode: let go vet do package loading and caching,
+	// pointing it back at this executable as the vet tool.
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// versionFlag implements the -V=full handshake go vet uses to fold
+// the tool's identity into its build cache key.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", self, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	fmt.Print("[")
+	for i, f := range out {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("\n\t{\"Name\":%q,\"Bool\":%v,\"Usage\":%q}", f.Name, f.Bool, f.Usage)
+	}
+	fmt.Println("\n]")
+}

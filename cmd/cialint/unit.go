@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"github.com/collablearn/ciarec/internal/analysis"
+)
+
+// unitConfig mirrors the JSON compilation-unit description `go vet`
+// hands a -vettool (the x/tools unitchecker Config). Only the fields
+// the suite needs are declared; unknown fields are ignored by the
+// JSON decoder.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit per the go vet protocol and
+// exits: 0 clean, 1 findings, 2 internal error.
+func runUnit(cfgFile string, jsonOut bool) {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// go vet expects the facts output file to exist even though this
+	// suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyzeUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	if jsonOut {
+		emitJSON(fset, cfg, diags)
+		os.Exit(0) // JSON consumers read findings from stdout
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func readUnitConfig(cfgFile string) (*unitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func analyzeUnit(fset *token.FileSet, cfg *unitConfig) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.All() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return analysis.ApplySuppressions(fset, files, diags), nil
+}
+
+func emitJSON(fset *token.FileSet, cfg *unitConfig, diags []analysis.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	tree := map[string]map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer, ok := tree[cfg.ID]
+		if !ok {
+			byAnalyzer = map[string][]jsonDiag{}
+			tree[cfg.ID] = byAnalyzer
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer],
+			jsonDiag{fset.Position(d.Pos).String(), d.Message})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(tree); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

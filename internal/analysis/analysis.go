@@ -1,0 +1,104 @@
+// Package analysis is a self-contained, stdlib-only re-creation of
+// the golang.org/x/tools/go/analysis vocabulary, carrying the custom
+// analyzers that enforce this repository's load-bearing invariants at
+// compile time:
+//
+//   - detrand:   no wall-clock or global-RNG reads in deterministic
+//     packages (golden hashes must be a pure function of seed).
+//   - mapiter:   no order-sensitive work inside range-over-map in
+//     golden-pinned code (map iteration order is randomized).
+//   - poolleak:  every param.Buffers acquisition is recycled or handed
+//     off on every path, including error returns.
+//   - mathxseam: no handwritten []float64 reduction/saxpy loops
+//     bypassing the mathx kernels in the hot packages.
+//
+// The suite is driven by cmd/cialint, which speaks the `go vet
+// -vettool` unit-checker protocol, so `go vet -vettool=$(cialint)
+// ./...` runs it with the build cache providing type information. See
+// ANALYSIS.md at the repository root for the contract each analyzer
+// enforces and how to suppress a finding with justification.
+//
+// The framework half of this package exists only because the build
+// environment pins a dependency-free module: it mirrors the
+// x/tools/go/analysis API shape (Analyzer, Pass, Diagnostic) closely
+// enough that the analyzers could be ported to the real framework by
+// changing an import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check. It mirrors the x/tools Analyzer
+// surface that the suite needs: a name for diagnostics and
+// suppression directives, one line of documentation, and a Run
+// function applied once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package. The
+// driver owns the fields; analyzers only read them and call Report.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver. Suppression
+	// directives (//lint:ignore, //lint:sorted) are applied by the
+	// driver after Run returns, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the package being
+// analyzed.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver; Report callers may leave it empty
+}
+
+// TypeOf returns the type of e, or nil if unknown. It tolerates a
+// partially filled Types map the same way x/tools passes do.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go
+// file. The suite's invariants protect the production determinism
+// surface; tests exercise violations deliberately (fault plans, leak
+// regression tests), so every analyzer skips test files.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && isTestFilename(f.Name())
+}
+
+func isTestFilename(name string) bool {
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -1,0 +1,256 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata/src tree and checks its diagnostics
+// against `// want` expectations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract the suite
+// would use if the dependency were available.
+//
+// Fixture files annotate expected findings with a backquoted regular
+// expression on the offending line:
+//
+//	rand.Shuffle(n, swap) // want `global rand\.Shuffle`
+//
+// Lines without a want comment must produce no diagnostic.
+// Suppression directives are honored exactly as in production: the
+// runner routes findings through analysis.ApplySuppressions, so
+// fixtures can prove both that //lint:sorted sanctions a site and
+// that an unjustified directive does not.
+//
+// Imports inside fixtures resolve first against sibling fixture
+// packages (testdata/src/param stubs the real pool API), then against
+// the standard library via `go list -export` and the gc importer, so
+// the runner works offline from the build cache alone.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/analysis"
+)
+
+// Run loads each named fixture package from dir/src and applies the
+// analyzer, failing t on any mismatch between reported and expected
+// diagnostics.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := newLoader(dir)
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			lp, err := ld.load(pkg)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pkg, err)
+			}
+			check(t, ld.fset, lp, a)
+		})
+	}
+}
+
+func check(t *testing.T, fset *token.FileSet, lp *loadedPkg, a *analysis.Analyzer) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     lp.files,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report: func(d analysis.Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags = analysis.ApplySuppressions(fset, lp.files, diags)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		got[key{p.Filename, p.Line}] = append(got[key{p.Filename, p.Line}], d.Message)
+	}
+	want := map[key]*regexp.Regexp{}
+	for _, exp := range collectWants(t, fset, lp.files) {
+		want[key{exp.file, exp.line}] = exp.re
+	}
+
+	for k, re := range want {
+		msgs := got[k]
+		if len(msgs) == 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			continue
+		}
+		matched := false
+		for _, m := range msgs {
+			if re.MatchString(m) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: diagnostics %q do not match %q", k.file, k.line, msgs, re)
+		}
+	}
+	for k, msgs := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic %q", k.file, k.line, msgs)
+		}
+	}
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					p := fset.Position(c.Pos())
+					t.Fatalf("%s:%d: bad want regexp: %v", p.Filename, p.Line, err)
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, expectation{p.Filename, p.Line, re})
+			}
+		}
+	}
+	return out
+}
+
+// ---- fixture loading ----
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root   string // testdata dir containing src/
+	fset   *token.FileSet
+	loaded map[string]*loadedPkg
+	std    types.ImporterFrom
+	lookup map[string]string // std package path → export file
+}
+
+func newLoader(root string) *loader {
+	ld := &loader{
+		root:   root,
+		fset:   token.NewFileSet(),
+		loaded: map[string]*loadedPkg{},
+		lookup: map[string]string{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", ld.exportFile).(types.ImporterFrom)
+	return ld
+}
+
+// Import implements types.Importer, resolving fixture siblings before
+// the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.root, "src", path)); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := ld.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.root, "src", path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.loaded[path] = lp
+	return lp, nil
+}
+
+// exportFile locates a standard-library package's export data via
+// `go list -export`, caching results per loader.
+func (ld *loader) exportFile(path string) (io.ReadCloser, error) {
+	file, ok := ld.lookup[path]
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-json=ImportPath,Export", path).Output()
+		if err != nil {
+			msg := err.Error()
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				msg = string(ee.Stderr)
+			}
+			return nil, fmt.Errorf("go list -export %s: %s", path, msg)
+		}
+		var info struct{ ImportPath, Export string }
+		if err := json.Unmarshal(bytes.TrimSpace(out), &info); err != nil {
+			return nil, err
+		}
+		if info.Export == "" {
+			return nil, fmt.Errorf("no export data for %s", path)
+		}
+		file = info.Export
+		ld.lookup[path] = file
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand enforces the seed-purity contract in deterministic
+// packages: golden hashes must be a pure function of (seed, spec), so
+// nothing in fed/gossip/model/attack/defense/transport/experiments may
+// read the wall clock or draw from the process-global RNG. Randomness
+// is derived with mathx.StreamSeeds/NewStreamRand or threaded through
+// an explicit *rand.Rand; time may only be read at sanctioned sites
+// (I/O deadlines, wall-clock reporting) carrying a justified
+// //lint:ignore detrand directive.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid time.Now and global math/rand draws in deterministic (golden-pinned) packages",
+	Run:  runDetRand,
+}
+
+// globalRandOK lists the math/rand(/v2) package-level functions that
+// do not consume the global source: constructors and helpers that the
+// threaded-RNG discipline still needs.
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods on a threaded *rand.Rand are the sanctioned path
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(),
+						"time.Now in deterministic package %s: golden hashes must be pure in the seed; thread a logical clock or justify with //lint:ignore detrand",
+						pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandOK[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s in deterministic package %s: derive the stream with mathx.StreamSeeds/NewStreamRand or thread a *rand.Rand",
+						fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is sanctioned in place with a justified directive on the
+// flagged line or the line above it:
+//
+//	//lint:ignore detrand wall-clock is reporting-only, not simulation state
+//	//lint:sorted keys are drained into a slice and sorted before hashing
+//
+// //lint:ignore takes a comma-separated analyzer list and a free-text
+// justification. //lint:sorted is the mapiter-specific sanction the
+// golden-pinned code uses (shorthand for "ignore mapiter"), and the
+// justification is checked: an empty reason does not suppress — the
+// driver reports the original finding plus the missing justification,
+// so a bare directive can never silence a diagnostic.
+
+// A directive is one parsed //lint: comment.
+type directive struct {
+	analyzers []string // lower-case analyzer names; ("sorted") → ("mapiter")
+	reason    string
+	pos       token.Pos
+	line      int
+	file      string
+}
+
+const sortedDirective = "sorted"
+
+// parseDirectives extracts every //lint: directive from the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				verb, rest, _ := strings.Cut(text, " ")
+				d := directive{
+					reason: strings.TrimSpace(rest),
+					pos:    c.Pos(),
+					line:   fset.Position(c.Pos()).Line,
+					file:   fset.Position(c.Pos()).Filename,
+				}
+				switch verb {
+				case "ignore":
+					names, reason, _ := strings.Cut(d.reason, " ")
+					d.reason = strings.TrimSpace(reason)
+					for _, n := range strings.Split(names, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							d.analyzers = append(d.analyzers, strings.ToLower(n))
+						}
+					}
+				case sortedDirective:
+					d.analyzers = []string{"mapiter"}
+				default:
+					continue // not ours (e.g. staticcheck file-level directives)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func (d *directive) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplySuppressions filters diags through the //lint: directives found
+// in files. A diagnostic is dropped when a covering directive with a
+// non-empty justification sits on the same line or the line above; a
+// covering directive with an empty justification keeps the diagnostic
+// and annotates it, enforcing the "checked justification" contract.
+// Both the vettool driver and the analysistest runner route findings
+// through here, so fixtures exercise the same path production uses.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, dg := range diags {
+		pos := fset.Position(dg.Pos)
+		suppressed := false
+		for i := range dirs {
+			d := &dirs[i]
+			if d.file != pos.Filename || !d.covers(dg.Analyzer) {
+				continue
+			}
+			if d.line != pos.Line && d.line != pos.Line-1 {
+				continue
+			}
+			if d.reason == "" {
+				dg.Message += " (suppression directive is missing its justification; write //lint:" +
+					directiveSpelling(dg.Analyzer) + " <reason>)"
+				break
+			}
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+func directiveSpelling(analyzer string) string {
+	if analyzer == "mapiter" {
+		return "sorted"
+	}
+	return "ignore " + analyzer
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MathxSeam keeps hot []float64 arithmetic behind the mathx kernel
+// seam in fed/model/attack. A handwritten elementwise loop compiles,
+// passes the equivalence suites, and silently forks the arithmetic
+// away from the one implementation the float32/SIMD roadmap item will
+// vectorize; this analyzer flags the recognizable kernel shapes —
+// single-statement reduction and saxpy/scale loops over float slices —
+// and points at the kernel to call instead.
+var MathxSeam = &Analyzer{
+	Name: "mathxseam",
+	Doc:  "flag handwritten []float64 reduction/saxpy loops that bypass the mathx kernels",
+	Run:  runMathxSeam,
+}
+
+func runMathxSeam(pass *Pass) error {
+	if !pkgInSet(pass.Pkg.Path(), hotKernelPkgs) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			body, idxObj := loopOverIndex(pass, n)
+			if body == nil || len(body.List) != 1 {
+				return true
+			}
+			as, ok := body.List[0].(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			if kernel := classifyKernelLoop(pass, as, idxObj); kernel != "" {
+				pass.Reportf(n.Pos(),
+					"handwritten float-slice loop bypasses the mathx seam: use %s (or add the kernel to mathx) so the float32/SIMD backends stay bit-identical",
+					kernel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// loopOverIndex recognizes `for i := range x` and
+// `for i := 0; i < n; i++` loops, returning the body and the index
+// variable's object.
+func loopOverIndex(pass *Pass, n ast.Node) (*ast.BlockStmt, types.Object) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		id, ok := n.Key.(*ast.Ident)
+		if !ok || n.Value != nil {
+			return nil, nil
+		}
+		return n.Body, pass.ObjectOf(id)
+	case *ast.ForStmt:
+		init, ok := n.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+			return nil, nil
+		}
+		id, ok := init.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, nil
+		}
+		return n.Body, pass.ObjectOf(id)
+	}
+	return nil, nil
+}
+
+// classifyKernelLoop decides whether the single assignment is a
+// kernel shape and names the mathx call to use. Recognized:
+//
+//	s += x[i]                 → mathx.Sum
+//	s += x[i] * y[i]          → mathx.Dot
+//	x[i] += a * y[i] (or -=)  → mathx.Axpy
+//	x[i] *= a                 → mathx.Scale
+//	s += <arith over x[i]…>   → mathx reduction (Sum/Dot composition)
+//
+// The right-hand side must be pure float arithmetic over indexed
+// float slices, identifiers and literals — any call breaks the shape
+// (per-element work a kernel cannot absorb) and is not flagged.
+func classifyKernelLoop(pass *Pass, as *ast.AssignStmt, idx types.Object) string {
+	if idx == nil {
+		return ""
+	}
+	rhs := as.Rhs[0]
+	lhsIndexed := isFloatSliceIndex(pass, as.Lhs[0], idx)
+	lhsScalar := !lhsIndexed && isFloatScalar(pass, as.Lhs[0])
+	if !pureFloatArith(pass, rhs) {
+		return ""
+	}
+	nIdx := countFloatSliceIndexes(pass, rhs, idx)
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if lhsScalar && nIdx >= 1 {
+			if nIdx == 1 {
+				if _, isBare := rhs.(*ast.IndexExpr); isBare {
+					return "mathx.Sum"
+				}
+			}
+			if isDotShape(pass, rhs, idx) {
+				return "mathx.Dot"
+			}
+			return "a mathx reduction (compose Sum/Dot)"
+		}
+		if lhsIndexed && nIdx >= 1 {
+			return "mathx.Axpy"
+		}
+		if lhsIndexed && nIdx == 0 {
+			return "mathx.AddScalar"
+		}
+	case token.MUL_ASSIGN:
+		if lhsIndexed && nIdx == 0 {
+			return "mathx.Scale"
+		}
+	}
+	return ""
+}
+
+// isDotShape matches x[i] * y[i] exactly.
+func isDotShape(pass *Pass, e ast.Expr, idx types.Object) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.MUL {
+		return false
+	}
+	return isFloatSliceIndex(pass, b.X, idx) && isFloatSliceIndex(pass, b.Y, idx)
+}
+
+// isFloatSliceIndex matches x[i] where x is a float slice and i is
+// the loop index.
+func isFloatSliceIndex(pass *Pass, e ast.Expr, idx types.Object) bool {
+	ie, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ie.Index.(*ast.Ident)
+	if !ok || pass.ObjectOf(id) != idx {
+		return false
+	}
+	t := pass.TypeOf(ie.X)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func countFloatSliceIndexes(pass *Pass, e ast.Expr, idx types.Object) int {
+	n := 0
+	ast.Inspect(e, func(m ast.Node) bool {
+		if me, ok := m.(ast.Expr); ok && isFloatSliceIndex(pass, me, idx) {
+			n++
+			return false
+		}
+		return true
+	})
+	return n
+}
+
+func isFloatScalar(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// pureFloatArith reports whether e is built only from identifiers,
+// selectors, index expressions, literals, parens, and arithmetic
+// operators — no calls, no conversions with side effects.
+func pureFloatArith(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.FuncLit, *ast.TypeAssertExpr:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}

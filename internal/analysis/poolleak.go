@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolLeak enforces the pool-recycling contract of param.Buffers: a
+// set acquired with Clone/GetShaped/CloneWithout must, on every
+// control-flow path out of the acquiring scope — early error returns
+// included — be recycled with Put or handed off (returned, stored,
+// passed on). A pooled set that is simply dropped puts an allocation
+// back into the steady-state parameter pipeline and silently erodes
+// the allocation-free benchmarks.
+//
+// The analysis is a forward walk over the acquiring function's
+// statement tree with an intentionally coarse transfer function: any
+// mention of the acquired variable after the acquisition — Put, a
+// transport send, a return of the value, capture by a closure —
+// settles its obligation (ownership transferred or released). A path
+// that reaches a return or falls off the end of the scope without
+// mentioning the variable at all is a leak. This under-reports
+// (mention is not proof of recycling) but never false-positives on
+// the repo's hand-off idioms, and it catches the classic bug class:
+// the early `return err` between Get and Put.
+var PoolLeak = &Analyzer{
+	Name: "poolleak",
+	Doc:  "require param.Buffers acquisitions to be recycled or handed off on every path",
+	Run:  runPoolLeak,
+}
+
+// acquireMethods are the param.Buffers methods that hand out a pooled
+// *Set the caller owes back to the pool.
+var acquireMethods = map[string]bool{
+	"Clone":        true,
+	"GetShaped":    true,
+	"CloneWithout": true,
+	"Get":          true,
+}
+
+func runPoolLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncForLeaks(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFuncForLeaks finds each acquisition in body and walks the
+// remainder of its innermost loop-or-function scope.
+func checkFuncForLeaks(pass *Pass, body *ast.BlockStmt) {
+	// Map each statement list to walk: the function body plus every
+	// nested loop body (an acquisition inside a loop must settle every
+	// iteration; a defer does not run per iteration).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFuncForLeaks(pass, n.Body)
+			return false
+		case *ast.BlockStmt:
+			scanStmtsForAcquires(pass, n.List, n == body || isLoopBody(body, n))
+		case *ast.CaseClause:
+			scanStmtsForAcquires(pass, n.Body, false)
+		case *ast.CommClause:
+			scanStmtsForAcquires(pass, n.Body, false)
+		}
+		return true
+	})
+}
+
+// scanStmtsForAcquires looks at the direct statements of one scope
+// for `v := pool.Clone(...)` acquisitions and bare dropped results.
+// terminal says whether falling off the end of the list discards the
+// obligation (function and loop bodies: yes; an if/switch arm flows
+// onward into statements this walk cannot see: no).
+func scanStmtsForAcquires(pass *Pass, list []ast.Stmt, terminal bool) {
+	for i, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && isBuffersAcquire(pass, call) {
+				pass.Reportf(call.Pos(),
+					"result of param.Buffers.%s dropped: the pooled set can never be recycled",
+					calleeName(call))
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				continue
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuffersAcquire(pass, call) {
+				continue
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				if !ok {
+					continue // stored into a field/element: handed off immediately
+				}
+				pass.Reportf(call.Pos(),
+					"result of param.Buffers.%s assigned to _: the pooled set can never be recycled",
+					calleeName(call))
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			w := &leakWalker{pass: pass, v: obj, acquire: call}
+			// Walk the statements after the acquisition to the end of
+			// this scope, then report if a path may exit unsettled.
+			st := w.walkStmts(list[i+1:], held)
+			if st == held && terminal {
+				pass.Reportf(call.Pos(),
+					"pooled set %s (param.Buffers.%s) may reach the end of its scope without Put or hand-off",
+					id.Name, calleeName(call))
+			}
+		}
+	}
+}
+
+func isLoopBody(root ast.Node, block *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body == block {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if n.Body == block {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBuffersAcquire reports whether call is pool.<Acquire>(...) on a
+// receiver of (a pointer to) type param.Buffers.
+func isBuffersAcquire(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !acquireMethods[sel.Sel.Name] {
+		return false
+	}
+	return isBuffersType(pass.TypeOf(sel.X))
+}
+
+func isBuffersType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buffers" && obj.Pkg() != nil && obj.Pkg().Name() == "param"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Get"
+}
+
+// ---- the path walk ----
+
+// obligation state for the acquired variable on the current path.
+type leakState int
+
+const (
+	held    leakState = iota // acquired, not yet mentioned
+	settled                  // recycled or handed off (any mention)
+)
+
+func merge(a, b leakState) leakState {
+	if a == settled && b == settled {
+		return settled
+	}
+	return held
+}
+
+type leakWalker struct {
+	pass    *Pass
+	v       types.Object
+	acquire *ast.CallExpr
+}
+
+// mentions reports whether n references w.v anywhere.
+func (w *leakWalker) mentions(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && w.pass.ObjectOf(id) == w.v {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// walkStmts runs the transfer function over a statement list.
+func (w *leakWalker) walkStmts(list []ast.Stmt, st leakState) leakState {
+	for _, s := range list {
+		st = w.walkStmt(s, st)
+		if st == settled {
+			return settled // nothing downstream can un-settle
+		}
+	}
+	return st
+}
+
+// walkStmt advances the state across one statement, reporting leaks
+// at returns reached while the obligation is still held.
+func (w *leakWalker) walkStmt(s ast.Stmt, st leakState) leakState {
+	if st == settled {
+		return settled
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if w.mentions(s) {
+			return settled
+		}
+		w.pass.Reportf(s.Pos(),
+			"return leaks pooled set %s acquired at line %d: recycle with Put (or hand it off) on this path too",
+			w.v.Name(), w.pass.Fset.Position(w.acquire.Pos()).Line)
+		return settled // report each leaky return once; don't cascade
+	case *ast.IfStmt:
+		if w.mentions(s.Init) || w.mentions(s.Cond) {
+			return settled
+		}
+		thenSt := w.walkStmts(s.Body.List, st)
+		elseSt := st
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt = w.walkStmts(e.List, st)
+		case ast.Stmt:
+			elseSt = w.walkStmt(e, st)
+		}
+		return merge(thenSt, elseSt)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, st)
+	case *ast.ForStmt, *ast.RangeStmt, *ast.LabeledStmt, *ast.GoStmt, *ast.DeferStmt:
+		// Loops and concurrency change the path structure in ways the
+		// walk does not model; any mention inside settles, silence
+		// leaves the state held for the statements that follow.
+		if w.mentions(s) {
+			return settled
+		}
+		return st
+	case *ast.BranchStmt:
+		// break/continue/goto exit this walk's straight-line view;
+		// stay quiet rather than guess the target.
+		return settled
+	default:
+		if w.mentions(s) {
+			return settled
+		}
+		return st
+	}
+}
+
+// walkCases merges the obligation state across switch/select bodies.
+func (w *leakWalker) walkCases(s ast.Stmt, st leakState) leakState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if w.mentions(s.Init) || w.mentions(s.Tag) {
+			return settled
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if w.mentions(s.Init) || w.mentions(s.Assign) {
+			return settled
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := st
+	first := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			if w.mentions2(cl.List) {
+				return settled
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			if w.mentions(cl.Comm) {
+				return settled
+			}
+			stmts = cl.Body
+		}
+		caseSt := w.walkStmts(stmts, st)
+		if first {
+			out, first = caseSt, false
+		} else {
+			out = merge(out, caseSt)
+		}
+	}
+	if !hasDefault {
+		out = merge(out, st) // no case taken: state flows through
+	}
+	return out
+}
+
+func (w *leakWalker) mentions2(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if w.mentions(e) {
+			return true
+		}
+	}
+	return false
+}

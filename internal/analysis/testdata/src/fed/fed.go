@@ -1,0 +1,35 @@
+// Package fed fixtures the detrand analyzer: the package-path segment
+// "fed" puts it in the deterministic set, so wall-clock reads and the
+// global rand stream are findings while seeded, threaded generators
+// and justified suppressions are not.
+package fed
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package fed`
+}
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want `global rand\.Float64 in deterministic package fed`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func okConstructor(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0))
+}
+
+func okThreadedMethod(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func okSuppressed() int64 {
+	//lint:ignore detrand wall-clock timing here is reporting-only and never enters golden bytes
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,80 @@
+// Package gossip fixtures the mapiter analyzer: order-sensitive bodies
+// under range-over-map are findings; a justified //lint:sorted
+// sanctions a site; an unjustified directive does not.
+package gossip
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+func badAppend(pool map[int]bool) []int {
+	out := make([]int, 0, len(pool))
+	for v := range pool { // want `appends to a slice declared outside the loop`
+		out = append(out, v)
+	}
+	return out
+}
+
+func badFloatAccum(w map[int]float64) float64 {
+	var total float64
+	for k := range w { // want `accumulates floats in iteration order`
+		total += w[k]
+	}
+	return total
+}
+
+func badRandDraw(pool map[int]bool, r *rand.Rand) int {
+	last := -1
+	for v := range pool { // want `consumes a threaded RNG stream`
+		if r.IntN(2) == 0 {
+			last = v
+		}
+	}
+	return last
+}
+
+func badSend(pool map[int]bool, ch chan int) {
+	for v := range pool { // want `sends on a channel`
+		ch <- v
+	}
+}
+
+type wire struct{}
+
+func (wire) Send(v int) {}
+
+func badSink(pool map[int]bool, w wire) {
+	for v := range pool { // want `pushes into a transport/encoder \(Send\)`
+		w.Send(v)
+	}
+}
+
+// Counting is order-insensitive: no finding.
+func okCount(pool map[int]bool) int {
+	n := 0
+	for range pool {
+		n++
+	}
+	return n
+}
+
+func okSanctioned(pool map[int]bool) []int {
+	out := make([]int, 0, len(pool))
+	//lint:sorted keys are drained into a slice and sorted immediately below
+	for v := range pool {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func badUnjustified(pool map[int]bool) []int {
+	out := make([]int, 0, len(pool))
+	//lint:sorted
+	for v := range pool { // want `missing its justification`
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,76 @@
+// Package model fixtures the mathxseam analyzer: the recognizable
+// kernel shapes are findings pointing at the mathx call to use, while
+// per-element calls (work no kernel absorbs) and justified
+// suppressions are not.
+package model
+
+func badSum(x []float64) float64 {
+	var s float64
+	for i := range x { // want `use mathx\.Sum`
+		s += x[i]
+	}
+	return s
+}
+
+func badDot(x, y []float64) float64 {
+	var s float64
+	for i := 0; i < len(x); i++ { // want `use mathx\.Dot`
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func badAxpy(a float64, x, y []float64) {
+	for i := range y { // want `use mathx\.Axpy`
+		y[i] += a * x[i]
+	}
+}
+
+func badScale(a float64, x []float64) {
+	for i := range x { // want `use mathx\.Scale`
+		x[i] *= a
+	}
+}
+
+func badReduction(x, y []float64) float64 {
+	var s float64
+	for i := range x { // want `use a mathx reduction`
+		s += 2*x[i] - y[i]
+	}
+	return s
+}
+
+func relu(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// A call in the body is per-element work no kernel absorbs: silent.
+func okPerElementCall(x []float64) float64 {
+	var s float64
+	for i := range x {
+		s += relu(x[i])
+	}
+	return s
+}
+
+// Multi-statement bodies are not the single-kernel shape: silent.
+func okMultiStmt(x []float64) float64 {
+	var s float64
+	for i := range x {
+		v := x[i]
+		s += v
+	}
+	return s
+}
+
+func okSanctioned(x []float64) float64 {
+	var s float64
+	//lint:ignore mathxseam accumulation order here is golden-pinned; Sum would reassociate
+	for i := range x {
+		s += x[i]
+	}
+	return s
+}

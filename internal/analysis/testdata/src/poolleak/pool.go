@@ -1,0 +1,70 @@
+// Package poolleak fixtures the pool-recycling analyzer against the
+// param.Buffers stub: every acquisition must settle (Put or hand-off)
+// on every path out of its scope, early error returns included.
+package poolleak
+
+import "param"
+
+func okDefer(b *param.Buffers) {
+	s := b.Get()
+	defer b.Put(s)
+}
+
+func okHandOff(b *param.Buffers) *param.Set {
+	s := b.Clone(nil)
+	return s
+}
+
+func okBothBranches(b *param.Buffers, cond bool) {
+	s := b.GetShaped(nil)
+	if cond {
+		b.Put(s)
+	} else {
+		b.Put(s)
+	}
+}
+
+func badDropped(b *param.Buffers) {
+	b.Get() // want `result of param\.Buffers\.Get dropped`
+}
+
+func badBlank(b *param.Buffers) {
+	_ = b.Clone(nil) // want `result of param\.Buffers\.Clone assigned to _`
+}
+
+// The classic bug class: the early error return between Get and Put.
+func badErrReturn(b *param.Buffers, err error) error {
+	s := b.Clone(nil)
+	if err != nil {
+		return err // want `return leaks pooled set s acquired at line \d+`
+	}
+	b.Put(s)
+	return nil
+}
+
+func badOneBranch(b *param.Buffers, cond bool) {
+	s := b.Get() // want `pooled set s \(param\.Buffers\.Get\) may reach the end of its scope`
+	if cond {
+		b.Put(s)
+	}
+}
+
+// Inside a loop the obligation must settle every iteration.
+func badInLoop(b *param.Buffers, n int, cond bool) {
+	for i := 0; i < n; i++ {
+		s := b.GetShaped(nil) // want `pooled set s \(param\.Buffers\.GetShaped\) may reach the end of its scope`
+		if cond {
+			b.Put(s)
+		}
+	}
+}
+
+func okSanctionedReturn(b *param.Buffers, err error) error {
+	s := b.CloneWithout(nil, "bias")
+	if err != nil {
+		//lint:ignore poolleak the registry owns the set past this point in production
+		return err
+	}
+	b.Put(s)
+	return nil
+}

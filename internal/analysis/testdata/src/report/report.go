@@ -1,0 +1,16 @@
+// Package report fixtures the negative direction: its path segment is
+// in neither the deterministic nor the hot-kernel set, so detrand and
+// mathxseam must both stay silent here.
+package report
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Sum(x []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i]
+	}
+	return s
+}

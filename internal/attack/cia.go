@@ -16,6 +16,7 @@ package attack
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"github.com/collablearn/ciarec/internal/evalx"
@@ -135,10 +136,14 @@ func (c *CIA) EndRound() {
 		return
 	}
 	senders := make([]int, 0, len(c.dirty))
+	//lint:sorted keys are drained and sorted below so worker chunking is deterministic; scores are keyed writes of pure (s, t) functions
 	for s := range c.dirty {
 		senders = append(senders, s)
 	}
 	clear(c.dirty)
+	// Sort so the parallel chunk partition (and any future
+	// order-sensitive consumer) cannot depend on map iteration order.
+	sort.Ints(senders)
 
 	if c.cfg.Workers == 1 || len(senders) < 2*c.cfg.Workers {
 		c.scoreSenders(c.cfg.Eval, senders)

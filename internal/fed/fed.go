@@ -647,10 +647,7 @@ func (s *Simulation) aggregate(uploads []upload) {
 				continue
 			}
 			pe := uploads[ui].payload.Get(ge.Name)[c.lo:c.hi]
-			w := s.aggW[ui]
-			for i := range acc {
-				acc[i] += w * (pe[i] - gd[i])
-			}
+			mathx.AxpyDiff(s.aggW[ui], pe, gd, acc)
 		}
 		mathx.Axpy(1, acc, gd)
 	})

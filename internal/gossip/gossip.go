@@ -521,6 +521,7 @@ func (s *Simulation) persView(u, p int) []int {
 	// alignment, which is what drives Pepper-style personalization.
 	probe := s.probeItems(u)
 	candidates := make([]int, 0, len(pool))
+	//lint:sorted keys are drained into a slice and sorted immediately below before any order-sensitive use
 	for v := range pool {
 		candidates = append(candidates, v)
 	}

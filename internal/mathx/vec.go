@@ -276,3 +276,65 @@ func Mean(x []float64) float64 {
 	}
 	return Sum(x) / float64(len(x))
 }
+
+// Dot3 returns Σ a[i]*b[i]*c[i], accumulated strictly left to right.
+// Unlike Dot it must stay sequential: it is the scalar reference for
+// golden-pinned triple-product scores (GMF's h·(u ⊙ q)), and callers'
+// hashes pin the naive accumulation order. It panics if the lengths
+// differ.
+func Dot3(a, b, c []float64) float64 {
+	if len(a) != len(b) || len(a) != len(c) {
+		panic(fmt.Sprintf("mathx: Dot3 length mismatch %d, %d, %d", len(a), len(b), len(c)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i] * c[i]
+	}
+	return s
+}
+
+// AxpyDiff computes dst += alpha*(x - y) element-wise — the weighted
+// delta-accumulation at the core of the FedAvg reduce. Element
+// updates are independent, so the 4-way unroll is bit-identical to
+// the naive loop. It panics if the lengths differ.
+func AxpyDiff(alpha float64, x, y, dst []float64) {
+	if len(x) != len(dst) || len(y) != len(dst) {
+		panic(fmt.Sprintf("mathx: AxpyDiff length mismatch %d, %d != %d", len(x), len(y), len(dst)))
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		dd[0] += alpha * (xx[0] - yy[0])
+		dd[1] += alpha * (xx[1] - yy[1])
+		dd[2] += alpha * (xx[2] - yy[2])
+		dd[3] += alpha * (xx[3] - yy[3])
+	}
+	for ; i < len(x); i++ {
+		dst[i] += alpha * (x[i] - y[i])
+	}
+}
+
+// DriftToward computes x -= c*(x - ref) element-wise: the
+// drift-regularizer step that pulls a row toward its reference value,
+// shared by every personalized model family. Element updates are
+// independent, so the result is bit-identical to the naive loop. It
+// panics if the lengths differ.
+func DriftToward(c float64, ref, x []float64) {
+	if len(ref) != len(x) {
+		panic(fmt.Sprintf("mathx: DriftToward length mismatch %d != %d", len(ref), len(x)))
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		rr := ref[i : i+4 : i+4]
+		xx := x[i : i+4 : i+4]
+		xx[0] -= c * (xx[0] - rr[0])
+		xx[1] -= c * (xx[1] - rr[1])
+		xx[2] -= c * (xx[2] - rr[2])
+		xx[3] -= c * (xx[3] - rr[3])
+	}
+	for ; i < len(x); i++ {
+		x[i] -= c * (x[i] - ref[i])
+	}
+}

@@ -201,3 +201,76 @@ func TestMeanEmpty(t *testing.T) {
 		t.Fatalf("Mean(nil) = %v, want 0", got)
 	}
 }
+
+// The three kernels below replaced handwritten loops in model/fed hot
+// paths under the mathxseam lint seam. The golden experiment hashes
+// are tolerance-0, so each test demands bit identity (==, not almostEq)
+// against the exact naive loop the kernel displaced, across lengths
+// that exercise the unrolled body and every remainder lane.
+
+func seamVec(n int, seed uint64) []float64 {
+	r := NewRand(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestDot3BitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 64, 129} {
+		a, b, c := seamVec(n, 1), seamVec(n, 2), seamVec(n, 3)
+		var want float64
+		for i := 0; i < n; i++ {
+			want += a[i] * b[i] * c[i]
+		}
+		if got := Dot3(a, b, c); got != want {
+			t.Fatalf("n=%d: Dot3 = %x, naive loop = %x", n, got, want)
+		}
+	}
+}
+
+func TestAxpyDiffBitIdentical(t *testing.T) {
+	const alpha = 0.37281
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 64, 129} {
+		x, y := seamVec(n, 4), seamVec(n, 5)
+		got := seamVec(n, 6)
+		want := append([]float64(nil), got...)
+		for i := 0; i < n; i++ {
+			want[i] += alpha * (x[i] - y[i])
+		}
+		AxpyDiff(alpha, x, y, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d i=%d: AxpyDiff = %x, naive loop = %x", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDriftTowardBitIdentical(t *testing.T) {
+	const c = 0.0123
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 64, 129} {
+		ref := seamVec(n, 7)
+		got := seamVec(n, 8)
+		want := append([]float64(nil), got...)
+		for i := 0; i < n; i++ {
+			want[i] -= c * (want[i] - ref[i])
+		}
+		DriftToward(c, ref, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d i=%d: DriftToward = %x, naive loop = %x", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDot3PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot3([]float64{1}, []float64{1, 2}, []float64{1})
+}

@@ -192,6 +192,7 @@ func (m *BPRMF) bprStep(u, pos, neg int, opt TrainOptions) {
 	scale := 1.0
 	if opt.PerExampleClip > 0 {
 		var sq float64
+		//lint:ignore mathxseam clip-norm accumulation order is golden-pinned; Dot is unrolled and not bit-identical
 		for k := 0; k < dim; k++ {
 			sq += dP[k]*dP[k] + dQp[k]*dQp[k] + dQn[k]*dQn[k]
 		}
@@ -212,11 +213,8 @@ func (m *BPRMF) bprStep(u, pos, neg int, opt TrainOptions) {
 	if opt.DriftTau > 0 {
 		ref := opt.DriftRef.Get(BPRMFItemEmb)
 		for _, it := range [2]int{pos, neg} {
-			row := m.itemEmb.Row(it)
 			base := it * dim
-			for k := 0; k < dim; k++ {
-				row[k] -= opt.LR * 2 * opt.DriftTau * (row[k] - ref[base+k])
-			}
+			mathx.DriftToward(opt.LR*2*opt.DriftTau, ref[base:base+dim], m.itemEmb.Row(it))
 		}
 	}
 }
@@ -241,6 +239,7 @@ func (m *BPRMF) FitFictiveUser(items []int, opt TrainOptions) []float64 {
 				z := m.score(vec, pos) - m.score(vec, neg)
 				g := -mathx.Sigmoid(-z)
 				qp, qn := m.itemEmb.Row(pos), m.itemEmb.Row(neg)
+				//lint:ignore mathxseam fused BPR step couples vec into its own update; no bit-identical kernel exists yet
 				for k := 0; k < m.dim; k++ {
 					vec[k] -= opt.LR * (g*(qp[k]-qn[k]) + opt.L2*vec[k])
 				}

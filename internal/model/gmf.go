@@ -122,11 +122,7 @@ func (m *GMF) Clone() Recommender {
 // logit computes h·(uvec ⊙ q_i) + b.
 func (m *GMF) logit(uvec []float64, item int) float64 {
 	q := m.itemEmb.Row(item)
-	var s float64
-	for k := 0; k < m.dim; k++ {
-		s += m.h[k] * uvec[k] * q[k]
-	}
-	return s + m.bias[0]
+	return mathx.Dot3(m.h, uvec, q) + m.bias[0]
 }
 
 // Predict returns σ(logit) for (owner, item).
@@ -250,9 +246,7 @@ func (m *GMF) sgdStep(u, item int, label float64, opt TrainOptions) {
 	if opt.DriftTau > 0 {
 		ref := opt.DriftRef.Get(GMFItemEmb)
 		base := item * m.dim
-		for k := 0; k < m.dim; k++ {
-			q[k] -= opt.LR * 2 * opt.DriftTau * (q[k] - ref[base+k])
-		}
+		mathx.DriftToward(opt.LR*2*opt.DriftTau, ref[base:base+m.dim], q)
 	}
 }
 
@@ -281,6 +275,7 @@ func (m *GMF) FitFictiveUser(items []int, opt TrainOptions) []float64 {
 func (m *GMF) fictiveStep(vec []float64, item int, label float64, opt TrainOptions) {
 	q := m.itemEmb.Row(item)
 	g := mathx.Sigmoid(m.logit(vec, item)) - label
+	//lint:ignore mathxseam fused fictive-user step couples vec into its own update; no bit-identical kernel exists yet
 	for k := 0; k < m.dim; k++ {
 		vec[k] -= opt.LR * (g*m.h[k]*q[k] + opt.L2*vec[k])
 	}

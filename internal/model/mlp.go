@@ -191,9 +191,7 @@ func (m *MLP) TrainExample(x []float64, label int, lr float64) float64 {
 		for j := 0; j < w.Rows; j++ {
 			row := w.Row(j)
 			g := delta[j]
-			for k := range row {
-				row[k] -= lr * g * in[k]
-			}
+			mathx.Axpy(-(lr * g), in, row)
 			m.biases[l][j] -= lr * g
 		}
 	}

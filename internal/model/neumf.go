@@ -175,9 +175,11 @@ func (m *NeuMF) forward(ug, um []float64, it int) float64 {
 	mathx.ReLU(m.a2, m.a2)
 
 	var s float64
+	//lint:ignore mathxseam the logit accumulates both towers into one running sum whose order golden hashes pin
 	for k := 0; k < m.dim; k++ {
 		s += m.h[k] * ug[k] * qg[k]
 	}
+	//lint:ignore mathxseam continues the same golden-pinned accumulator across the tower boundary
 	for j := 0; j < m.h2; j++ {
 		s += m.h[m.dim+j] * m.a2[j]
 	}
@@ -363,6 +365,7 @@ func (m *NeuMF) sgdStep(u, it int, label float64, opt TrainOptions) {
 		for j := 0; j < h1c; j++ {
 			sq += delta1[j] * delta1[j] * (1 + mathx.Dot(m.in1, m.in1))
 		}
+		//lint:ignore mathxseam clip-norm accumulation order is golden-pinned; Dot is unrolled and not bit-identical
 		for k := 0; k < 2*dim; k++ {
 			sq += dIn[k] * dIn[k]
 		}
@@ -382,25 +385,17 @@ func (m *NeuMF) sgdStep(u, it int, label float64, opt TrainOptions) {
 		m.h[k] -= lr * dH
 	}
 	// Output layer over the MLP half.
-	for j := 0; j < h2c; j++ {
-		m.h[dim+j] -= lr * g * m.a2[j]
-	}
+	mathx.Axpy(-(lr * g), m.a2, m.h[dim:])
 	m.bias[0] -= lr * g
 
 	// W2/b2: dW2[j][i] = delta2[j]*a1[i].
 	for j := 0; j < h2c; j++ {
-		row := m.w2.Row(j)
-		for i := 0; i < h1c; i++ {
-			row[i] -= lr * delta2[j] * m.a1[i]
-		}
+		mathx.Axpy(-(lr * delta2[j]), m.a1, m.w2.Row(j))
 		m.b2[j] -= lr * delta2[j]
 	}
 	// W1/b1: dW1[j][i] = delta1[j]*in1[i].
 	for j := 0; j < h1c; j++ {
-		row := m.w1.Row(j)
-		for i := 0; i < 2*dim; i++ {
-			row[i] -= lr * delta1[j] * m.in1[i]
-		}
+		mathx.Axpy(-(lr * delta1[j]), m.in1, m.w1.Row(j))
 		m.b1[j] -= lr * delta1[j]
 	}
 	// MLP embeddings.
@@ -417,9 +412,7 @@ func (m *NeuMF) sgdStep(u, it int, label float64, opt TrainOptions) {
 		}{{NeuMFItemEmbGMF, qg}, {NeuMFItemEmbMLP, qm}} {
 			ref := opt.DriftRef.Get(pair.entry)
 			base := it * dim
-			for k := 0; k < dim; k++ {
-				pair.row[k] -= opt.LR * 2 * opt.DriftTau * (pair.row[k] - ref[base+k])
-			}
+			mathx.DriftToward(opt.LR*2*opt.DriftTau, ref[base:base+dim], pair.row)
 		}
 	}
 }

@@ -197,6 +197,7 @@ func (m *PRME) RelevanceWithUserVec(vec []float64, items []int) float64 {
 	dots, norms := m.scoreBuf[:n], m.scoreBuf[n:2*n]
 	mathx.DotNormRows(m.itemPref, items, vec, dots, norms)
 	var s float64
+	//lint:ignore mathxseam score reduction order is golden-pinned; Sum-composition would reassociate the accumulation
 	for i := range dots {
 		s += 2*dots[i] - norms[i]
 	}
@@ -374,11 +375,8 @@ func (m *PRME) bprStep(u, prev, pos, neg int, opt TrainOptions) {
 
 func (m *PRME) drift(item int, entry string, mat *mathx.Matrix, opt TrainOptions) {
 	ref := opt.DriftRef.Get(entry)
-	row := mat.Row(item)
 	base := item * m.dim
-	for k := 0; k < m.dim; k++ {
-		row[k] -= opt.LR * 2 * opt.DriftTau * (row[k] - ref[base+k])
-	}
+	mathx.DriftToward(opt.LR*2*opt.DriftTau, ref[base:base+m.dim], mat.Row(item))
 }
 
 // FitFictiveUser returns a preference-space user point representing "a

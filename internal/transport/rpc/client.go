@@ -230,6 +230,7 @@ func (c *Client) RoundTrip(typ byte, round, id uint32, payload []byte, handle fu
 // deadline.
 func (cn *clientConn) call(timeout time.Duration, typ byte, round, id uint32, payload []byte) error {
 	if timeout > 0 {
+		//lint:ignore detrand I/O deadline on a real socket: wall time bounds blocking and never enters payload bytes
 		if err := cn.c.SetDeadline(time.Now().Add(timeout)); err != nil {
 			return err
 		}

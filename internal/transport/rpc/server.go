@@ -191,6 +191,7 @@ func (s *Server) Shutdown(grace time.Duration) error {
 	s.closed = true
 	s.draining = true
 	err := s.ln.Close()
+	//lint:ignore detrand drain grace period is wall-clock by design; it never enters payload bytes
 	deadline := time.Now().Add(grace)
 	for c := range s.conns {
 		// Wake handlers blocked between requests; one already mid-frame
@@ -275,6 +276,7 @@ func (s *Server) serveConn(c net.Conn) {
 		// draining and sets deadlines in one critical section).
 		s.mu.Lock()
 		if !s.draining && s.IdleTimeout > 0 {
+			//lint:ignore detrand I/O deadline on a real socket: wall time bounds blocking and never enters payload bytes
 			c.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
 		s.mu.Unlock()
@@ -293,6 +295,7 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		if s.WriteTimeout > 0 {
+			//lint:ignore detrand I/O deadline on a real socket: wall time bounds blocking and never enters payload bytes
 			c.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		var err error

@@ -1,0 +1,8 @@
+module github.com/collablearn/ciarec/tools
+
+go 1.24.0
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)
