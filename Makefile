@@ -38,11 +38,13 @@ test:
 race:
 	$(GO) test -race -timeout=40m ./...
 
-# Short coverage-guided fuzz of the wire codec and the RPC frame
-# decoder (the committed seed corpora under */testdata/fuzz always run
-# as part of `make test`).
+# Short coverage-guided fuzz of the wire codecs (dense CPS1 and the
+# sparse+quantized CPQ1 decoder) and the RPC frame decoder (the
+# committed seed corpora under */testdata/fuzz always run as part of
+# `make test`).
 fuzz:
 	$(GO) test -fuzz='^FuzzParamSetReadFrom$$' -fuzztime=30s -run='^$$' ./internal/param/
+	$(GO) test -fuzz='^FuzzSparseCodecDecode$$' -fuzztime=30s -run='^$$' ./internal/param/
 	$(GO) test -fuzz='^FuzzFrameRead$$' -fuzztime=30s -run='^$$' ./internal/transport/rpc/
 
 # Fault-injection suite under the race detector: the deterministic

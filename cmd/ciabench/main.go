@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/collablearn/ciarec/internal/experiments"
+	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
 
@@ -193,6 +194,7 @@ func main() {
 		addr   = flag.String("addr", "", "external ciaworker address for the socket backends: a socket path (socket) or host:port (socket-tcp)")
 		faults = flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=7,drop=0.05,send-loss=0.05,slow=0.1,slow-latency=500ms' or 'default'; wraps the transport in the fault injector and drives straggler latencies")
 		retry  = flag.String("retry", "", "socket RPC retry policy, e.g. 'attempts=6,backoff=5ms,timeout=2s' (empty keeps the defaults)")
+		comp   = flag.String("compress", "", "wire compression for every parameter transfer: 'off' (default, lossless dense codec) or '8'/'16' for the sparse+quantized delta codec at that bit width")
 		quorum = flag.Float64("quorum", 0, "minimum fraction of sampled clients whose uploads must arrive in time for an FL round to aggregate; below it the round keeps the previous global model (0 disables)")
 		sdl    = flag.Duration("straggler-deadline", 0, "FL per-round upload deadline: uploads whose fault-plan latency exceeds it are observed by the adversary but excluded from aggregation (0 disables)")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
@@ -238,6 +240,12 @@ func main() {
 		}
 		spec.Retry = &policy
 	}
+	compression, err := param.ParseCompression(*comp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciabench: -compress: %v\n", err)
+		os.Exit(2)
+	}
+	spec.Compression = compression
 	if *quorum < 0 || *quorum > 1 {
 		fmt.Fprintf(os.Stderr, "ciabench: -quorum %v out of [0,1]\n", *quorum)
 		os.Exit(2)

@@ -65,6 +65,108 @@ func TestTopKSparsifyNoUpdateNoChange(t *testing.T) {
 	}
 }
 
+// TestTopKSparsifyTable pins the exact survivor set for hand-built
+// deltas — the contract the wire codec's sparse encoder relies on:
+// the magnitude threshold is the keep-th largest |Δ| over the *nonzero*
+// coordinates of all entries jointly, every coordinate with |Δ| ≥
+// threshold survives (so ties at the threshold are all kept, possibly
+// more than keep of them), survivors keep their exact value and
+// position, and everything else is exactly zero. keep =
+// int(Fraction·nnz) clamped to ≥1, so Fraction=1 is keep=nnz (the
+// k≥len case: zeros stay zero, every nonzero survives).
+func TestTopKSparsifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		frac float64
+		// delta is written verbatim into the 4×2 item_emb entry (its
+		// prev is zeroed first, so the computed Δ is exactly this
+		// vector); all other entries carry a zero delta.
+		delta []float64
+		kept  []int // item_emb indices expected to survive, in order
+	}{
+		{
+			name:  "ties at threshold all survive",
+			frac:  0.5, // nnz=4 → keep=2, threshold=2
+			delta: []float64{3, 2, 2, 2, 0, 0, 0, 0},
+			kept:  []int{0, 1, 2, 3},
+		},
+		{
+			name:  "magnitude not sign decides",
+			frac:  0.5, // nnz=4 → keep=2, threshold=4
+			delta: []float64{-5, 4, -3, 1, 0, 0, 0, 0},
+			kept:  []int{0, 1},
+		},
+		{
+			name:  "keep clamps to one",
+			frac:  0.01, // nnz=8 → int(0.08)=0 → keep=1
+			delta: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			kept:  []int{7},
+		},
+		{
+			name:  "keep-one tie keeps both maxima",
+			frac:  0.01, // keep=1, threshold=7 — both ±7 survive
+			delta: []float64{7, -7, 1, 1, 1, 1, 1, 1},
+			kept:  []int{0, 1},
+		},
+		{
+			name:  "fraction one keeps every nonzero",
+			frac:  1, // keep=nnz=5: the k≥len edge — zeros stay zero
+			delta: []float64{0.5, 0, -0.25, 1, 0, 2, 0, -3},
+			kept:  []int{0, 2, 3, 5, 7},
+		},
+		{
+			name:  "keep rounds down",
+			frac:  0.5, // nnz=5 → int(2.5)=2, threshold=4
+			delta: []float64{1, 2, 3, 4, 5, 0, 0, 0},
+			kept:  []int{3, 4},
+		},
+		{
+			name:  "all-zero delta keeps nothing",
+			frac:  0.5,
+			delta: []float64{0, 0, 0, 0, 0, 0, 0, 0},
+			kept:  nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := model.NewGMF(2, 4, 2, 1)
+			item := m.Params().Get(model.GMFItemEmb)
+			if len(item) != len(tc.delta) {
+				t.Fatalf("item_emb has %d coords, case wants %d", len(item), len(tc.delta))
+			}
+			mathx.Zero(item)
+			prev := m.Params().Clone()
+			copy(item, tc.delta)
+
+			out := TopKSparsify{Fraction: tc.frac}.Outgoing(m, prev, nil, nil)
+			got := out.Clone()
+			got.Axpy(-1, prev)
+			for _, name := range got.Names() {
+				if name == model.GMFItemEmb {
+					continue
+				}
+				for i, v := range got.Get(name) {
+					if v != 0 {
+						t.Fatalf("entry %s[%d]: zero-delta coordinate changed to %v", name, i, v)
+					}
+				}
+			}
+			keep := make(map[int]bool, len(tc.kept))
+			for _, i := range tc.kept {
+				keep[i] = true
+			}
+			for i, v := range got.Get(model.GMFItemEmb) {
+				switch {
+				case keep[i] && v != tc.delta[i]:
+					t.Errorf("index %d: survivor value %v, want exactly %v", i, v, tc.delta[i])
+				case !keep[i] && v != 0:
+					t.Errorf("index %d: want zeroed, got %v", i, v)
+				}
+			}
+		})
+	}
+}
+
 func TestTopKSparsifyPanics(t *testing.T) {
 	m := model.NewGMF(2, 4, 2, 1)
 	for name, f := range map[string]func(){

@@ -94,6 +94,23 @@ func goldenFedRunOn(t *testing.T, tr transport.Transport) string {
 	return hashRun([]*param.Set{sim.Global().Params()}, hr)
 }
 
+// goldenCompressedFedRun executes the reference federated workload
+// with every parameter transfer running through the sparse+quantized
+// delta codec at the given bit width, and digests it. Quantization
+// moves the result off the dense fed-gmf hashes, but the compressed
+// result itself is pinned: the same digest on every backend, every
+// run, every worker count.
+func goldenCompressedFedRun(t *testing.T, backend string, bits int) string {
+	t.Helper()
+	tr, err := transport.NewOptions(backend, transport.Options{
+		Compression: param.Compression{Bits: bits},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenFedRunOn(t, tr)
+}
+
 // goldenFaultPlan is the chaos scenario pinned by the faulty golden
 // hashes: every fault family active, so the digest covers blackout
 // rounds, skipped clients, lost uploads and straggler exclusion.
@@ -222,6 +239,8 @@ func TestGoldenDeterminism(t *testing.T) {
 		hashes["fed-gmf/"+backend] = goldenFedRun(t, backend)
 		hashes["gossip-prme/"+backend] = goldenGossipRun(t, backend)
 		hashes["fed-gmf-faulty/"+backend] = goldenFaultyFedRun(t, backend)
+		hashes["fed-gmf-compressed8/"+backend] = goldenCompressedFedRun(t, backend, 8)
+		hashes["fed-gmf-compressed16/"+backend] = goldenCompressedFedRun(t, backend, 16)
 	}
 	// The transport backends must agree with each other regardless of
 	// what the golden file says (this half runs on every architecture).
@@ -229,7 +248,10 @@ func TestGoldenDeterminism(t *testing.T) {
 	// Unix-domain socket server, so agreement here means the framed
 	// protocol is value-transparent end to end — and for the faulty
 	// workload, that the injected fault schedule is backend-independent.
-	for _, workload := range []string{"fed-gmf", "gossip-prme", "fed-gmf-faulty"} {
+	for _, workload := range []string{
+		"fed-gmf", "gossip-prme", "fed-gmf-faulty",
+		"fed-gmf-compressed8", "fed-gmf-compressed16",
+	} {
 		for _, backend := range []string{"wire", "socket"} {
 			if hashes[workload+"/inproc"] != hashes[workload+"/"+backend] {
 				t.Fatalf("%s: %s and inproc hashes differ", workload, backend)

@@ -47,7 +47,7 @@ type RunResult struct {
 // injector, and Retry tunes the socket backends' RPC policy. The
 // caller owns the instance and must Close it when the run is done.
 func newTransport(s Spec) (transport.Transport, error) {
-	o := transport.Options{Plan: s.FaultPlan, Retry: s.Retry}
+	o := transport.Options{Plan: s.FaultPlan, Retry: s.Retry, Compression: s.Compression}
 	if s.TransportAddr != "" {
 		return transport.DialOptions(s.Transport, s.TransportAddr, o)
 	}
@@ -162,6 +162,7 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		FaultPlan:         effectivePlan(o.Spec),
 		StragglerDeadline: o.Spec.StragglerDeadline,
 		Quorum:            o.Spec.Quorum,
+		Compression:       o.Spec.Compression,
 		Observer:          obs,
 		// Utility sweeps run on the simulator's deterministic parallel
 		// evaluation engine (Spec.Workers, per-(seed, round, user)
@@ -334,6 +335,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		Workers:     o.Spec.Workers,
 		Transport:   tr,
 		FaultPlan:   effectivePlan(o.Spec),
+		Compression: o.Spec.Compression,
 		Observer:    obs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {

@@ -17,6 +17,7 @@ import (
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
 
@@ -89,6 +90,13 @@ type Spec struct {
 	// the defaults: 4 attempts, capped jittered exponential backoff,
 	// 30s per-attempt deadline).
 	Retry *transport.RetryPolicy
+	// Compression, when enabled, runs every parameter transfer through
+	// the sparse+quantized delta codec (see internal/param). The zero
+	// value keeps the lossless dense codec; compressed runs are still
+	// deterministic and byte-identical across backends and worker
+	// counts, but quantization moves them off the dense golden hashes
+	// (they have their own golden cells).
+	Compression param.Compression
 	// StragglerDeadline and Quorum parameterize the FL server's partial
 	// aggregation (see fed.Config). Zero values disable both.
 	StragglerDeadline time.Duration

@@ -55,9 +55,11 @@ func RenderRows(title string, rows []AttackRow) string {
 // recorded it: point-to-point and broadcast volume, frame counts, the
 // socket backends' RPC round-trip/reconnect/retry counters, and —
 // when any run used the retry or fault layers — the timeout, give-up
-// and injected-fault columns.
+// and injected-fault columns. Runs carried by a compressing transport
+// additionally get the dense-equivalent volume and the compression
+// ratio, so the codec's saving is visible next to what actually moved.
 func renderTraffic(rows []AttackRow) string {
-	any, resil := false, false
+	any, resil, comp := false, false, false
 	for _, r := range rows {
 		if r.Transport != "" {
 			any = true
@@ -65,6 +67,9 @@ func renderTraffic(rows []AttackRow) string {
 		st := r.Traffic
 		if st.Retries > 0 || st.Timeouts > 0 || st.GaveUp > 0 || st.InjectedFaults > 0 {
 			resil = true
+		}
+		if st.RawBytes != st.Bytes || st.RawBroadcastBytes != st.BroadcastBytes {
+			comp = true
 		}
 	}
 	if !any {
@@ -75,6 +80,9 @@ func renderTraffic(rows []AttackRow) string {
 	fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8s %9s %8s %9s %8s %7s %6s",
 		"dataset", "model", "setting", "backend",
 		"msgs", "MB", "bcasts", "bcastMB", "chunks", "rtrips", "reconn")
+	if comp {
+		fmt.Fprintf(&b, " %9s %6s", "rawMB", "ratio")
+	}
 	if resil {
 		fmt.Fprintf(&b, " %7s %8s %6s %6s", "retries", "timeouts", "gaveup", "faults")
 	}
@@ -89,6 +97,15 @@ func renderTraffic(rows []AttackRow) string {
 			st.Messages, float64(st.Bytes)/(1<<20),
 			st.BroadcastMessages, float64(st.BroadcastBytes)/(1<<20),
 			st.Chunks, st.RoundTrips, st.Reconnects)
+		if comp {
+			raw := st.RawBytes + st.RawBroadcastBytes
+			moved := st.Bytes + st.BroadcastBytes
+			ratio := 1.0
+			if moved > 0 {
+				ratio = float64(raw) / float64(moved)
+			}
+			fmt.Fprintf(&b, " %9.2f %5.1fx", float64(raw)/(1<<20), ratio)
+		}
 		if resil {
 			fmt.Fprintf(&b, " %7d %8d %6d %6d", st.Retries, st.Timeouts, st.GaveUp, st.InjectedFaults)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
 
@@ -44,27 +45,58 @@ func benchSimOn(b *testing.B, workers int, tr transport.Transport) *Simulation {
 	return s
 }
 
+// benchRound runs one RunRound benchmark cell on the named backend and
+// reports payload traffic next to the usual time/allocs: payloadB/round
+// is the encoded bytes actually moved (sends + broadcast deliveries),
+// rawB/round what the same transfers would cost under the dense codec
+// (transport.Stats raw accounting). Dense cells report the two equal;
+// compressed cells show the measured wire saving.
+func benchRound(b *testing.B, workers int, backend string, comp param.Compression) {
+	b.Helper()
+	tr, err := transport.NewOptions(backend, transport.Options{Compression: comp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	s := benchSimOn(b, workers, tr)
+	s.RunRound() // warm scratch models, pools (and the conn pool on socket)
+	b.ReportAllocs()
+	before := tr.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRound()
+	}
+	b.StopTimer()
+	st := tr.Stats()
+	rounds := float64(b.N)
+	b.ReportMetric(float64((st.Bytes+st.BroadcastBytes)-(before.Bytes+before.BroadcastBytes))/rounds, "payloadB/round")
+	b.ReportMetric(float64((st.RawBytes+st.RawBroadcastBytes)-(before.RawBytes+before.RawBroadcastBytes))/rounds, "rawB/round")
+}
+
 // BenchmarkWireRound prices the wire transport against the in-memory
 // baseline: one full FedAvg round where every download and upload
 // round-trips the binary codec through pooled buffers (140 clients ×
 // ~26 KB models each way per round). The wire/inproc gap is the
 // serialization tax a multi-process deployment would pay on top of
-// training — see PERFORMANCE.md for recorded numbers.
+// training; the c8/c16 cells run the same round through the
+// sparse+quantized CPQ1 codec (8/16-bit, delta-coded uploads) and
+// report how many payload bytes the round still moves — see
+// PERFORMANCE.md for recorded numbers.
 func BenchmarkWireRound(b *testing.B) {
-	for _, backend := range []string{"inproc", "wire", "wire-chunked"} {
+	cases := []struct {
+		name, backend string
+		comp          param.Compression
+	}{
+		{"inproc", "inproc", param.Compression{}},
+		{"wire", "wire", param.Compression{}},
+		{"wire-chunked", "wire-chunked", param.Compression{}},
+		{"wire/c8", "wire", param.Compression{Bits: 8}},
+		{"wire/c16", "wire", param.Compression{Bits: 16}},
+	}
+	for _, bc := range cases {
 		for _, workers := range []int{1, 4} {
-			b.Run(fmt.Sprintf("%s/workers=%d", backend, workers), func(b *testing.B) {
-				tr, err := transport.New(backend)
-				if err != nil {
-					b.Fatal(err)
-				}
-				s := benchSimOn(b, workers, tr)
-				s.RunRound() // warm scratch models and both pools
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					s.RunRound()
-				}
+			b.Run(fmt.Sprintf("%s/workers=%d", bc.name, workers), func(b *testing.B) {
+				benchRound(b, workers, bc.backend, bc.comp)
 			})
 		}
 	}
@@ -76,24 +108,25 @@ func BenchmarkWireRound(b *testing.B) {
 // against the in-process rpc.Server — serialization plus syscalls,
 // kernel socket buffers and connection-pool traffic. The socket/inproc
 // gap is the full single-host IPC tax; compare with BenchmarkWireRound
-// to isolate what the socket hop adds on top of the codec. See
-// PERFORMANCE.md for recorded numbers.
+// to isolate what the socket hop adds on top of the codec. The c8/c16
+// cells push the same RPC traffic through the CPQ1 codec — the
+// acceptance gauge for the compression work is the socket/c8
+// payloadB/round at ≤½ the dense socket cell. See PERFORMANCE.md for
+// recorded numbers.
 func BenchmarkSocketRound(b *testing.B) {
-	for _, backend := range []string{"inproc", "socket"} {
+	cases := []struct {
+		name, backend string
+		comp          param.Compression
+	}{
+		{"inproc", "inproc", param.Compression{}},
+		{"socket", "socket", param.Compression{}},
+		{"socket/c8", "socket", param.Compression{Bits: 8}},
+		{"socket/c16", "socket", param.Compression{Bits: 16}},
+	}
+	for _, bc := range cases {
 		for _, workers := range []int{1, 4} {
-			b.Run(fmt.Sprintf("%s/workers=%d", backend, workers), func(b *testing.B) {
-				tr, err := transport.New(backend)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.Cleanup(func() { tr.Close() })
-				s := benchSimOn(b, workers, tr)
-				s.RunRound() // warm scratch models, pools and the conn pool
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					s.RunRound()
-				}
+			b.Run(fmt.Sprintf("%s/workers=%d", bc.name, workers), func(b *testing.B) {
+				benchRound(b, workers, bc.backend, bc.comp)
 			})
 		}
 	}

@@ -43,10 +43,13 @@ type Message struct {
 // msg.Params is only valid for the duration of the OnUpload call: the
 // simulator recycles payload storage once the round that produced it
 // is aggregated, so implementations must clone anything they retain.
-// Calls are always made sequentially from a single goroutine, in the
-// round's sampling order (ascending client index under full
-// participation; the sampler's draw order under ClientFraction < 1) —
-// identical for every Workers setting.
+// Calls are never concurrent and always arrive in the round's sampling
+// order (ascending client index under full participation; the
+// sampler's draw order under ClientFraction < 1) — identical for every
+// Workers setting. On an uncompressed transport all calls come from
+// the goroutine running the simulation; on a compressed transport
+// OnUpload fires from the round's streaming-fold goroutine, still
+// strictly ordered before the same round's OnRoundEnd.
 type Observer interface {
 	// OnUpload is called for every client upload, before aggregation.
 	OnUpload(msg Message)
@@ -99,6 +102,18 @@ type Config struct {
 	// never closes the transport. Instances accumulate per-simulation
 	// traffic stats, so do not share one across simulations.
 	Transport transport.Transport
+
+	// Compression selects the transport payload codec: the zero value
+	// keeps the dense float64 codec (bit-exact transfers, the golden
+	// reference), 8 or 16 bits switches every transfer to the
+	// sparse+quantized CPQ1 codec and the server to streaming
+	// aggregation — each upload is folded into the accumulator as it
+	// arrives, in sampling order, instead of being staged until the
+	// round ends. When Transport is nil the default inproc transport is
+	// built at this level; a non-nil Transport must either match (its
+	// own Compression equals this one) or this field must be zero, in
+	// which case the transport's setting is adopted.
+	Compression param.Compression
 
 	// FaultPlan is the declarative failure scenario the simulator
 	// consults for protocol-level decisions the transport cannot make —
@@ -153,6 +168,14 @@ func (c *Config) validate() error {
 	}
 	if c.StragglerDeadline < 0 {
 		return fmt.Errorf("fed: Config.StragglerDeadline %v is negative", c.StragglerDeadline)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return fmt.Errorf("fed: %w", err)
+	}
+	if c.Transport != nil {
+		if tc := c.Transport.Compression(); c.Compression.Enabled() && tc != c.Compression {
+			return fmt.Errorf("fed: Config.Compression %v conflicts with the transport's %v", c.Compression, tc)
+		}
 	}
 	return nil
 }
@@ -274,7 +297,15 @@ func New(cfg Config) (*Simulation, error) {
 		cfg.ClientFraction = 1
 	}
 	if cfg.Transport == nil {
-		cfg.Transport = transport.NewInproc()
+		tr, err := transport.NewOptions("inproc", transport.Options{Compression: cfg.Compression})
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		cfg.Transport = tr
+	} else {
+		// Adopt the transport's codec so the streaming-aggregation
+		// decision below sees one authoritative setting.
+		cfg.Compression = cfg.Transport.Compression()
 	}
 	rng := mathx.NewRand(cfg.Seed)
 	global := cfg.Factory(rng.Uint64())
@@ -404,26 +435,43 @@ func (s *Simulation) RunRound() {
 		s.finishRound(round)
 		return
 	}
+	// On a compressed transport the server aggregates streamingly: a
+	// folder goroutine consumes each upload in sampling order as soon
+	// as it (and all earlier ones) resolved, folding it into the
+	// accumulator and recycling it immediately instead of staging every
+	// decoded set until the round ends.
+	var fold *folder
+	if s.cfg.Compression.Enabled() {
+		fold = s.startFold(round, sampled)
+	}
 	parx.ForEach(s.workers, len(sampled), func(w, i int) {
 		payload := s.clientRound(round, sampled[i], s.scratches[w], bcast)
-		if payload == nil {
-			return // delivery failed: the client skipped the round
-		}
-		if s.dropped[i] {
+		switch {
+		case payload == nil:
+			// Delivery failed: the client skipped the round.
+		case s.dropped[i]:
 			// Failure injection: the client crashed before uploading.
 			// Its local training (and private state) already happened.
 			s.pool.Put(payload)
-			return
+		default:
+			sent, err := s.tr.Send(round, sampled[i], payload, &s.pool)
+			if err != nil {
+				// Upload lost in transit (payload already recycled).
+				s.uploadFailures.Add(1)
+			} else {
+				s.payloads[i] = sent
+			}
 		}
-		sent, err := s.tr.Send(round, sampled[i], payload, &s.pool)
-		if err != nil {
-			// Upload lost in transit (payload already recycled).
-			s.uploadFailures.Add(1)
-			return
+		if fold != nil {
+			fold.resolve(i)
 		}
-		s.payloads[i] = sent
 	})
 	bcast.Close()
+	if fold != nil {
+		s.finishFold(fold, sampled)
+		s.finishRound(round)
+		return
+	}
 
 	// Sequential phase: observe and aggregate in client-index order.
 	// Straggler decisions are pure plan functions, so drawing them here
@@ -651,6 +699,158 @@ func (s *Simulation) aggregate(uploads []upload) {
 		}
 		mathx.Axpy(1, acc, gd)
 	})
+}
+
+// routedRow is a private user-table row captured from a streamed
+// upload: row routing must wait until the round's quorum is known, so
+// the row (a few floats) is stashed while the rest of the payload is
+// folded and recycled.
+type routedRow struct {
+	name string
+	u    int
+	row  []float64
+}
+
+// folder is the compressed path's streaming aggregator. Workers signal
+// each sample index once its upload resolved (arrived, dropped, lost
+// or skipped); the folder's goroutine advances a cursor through the
+// sampling order, and for every arrival in turn observes it, folds its
+// weighted delta into the accumulator (raw weights — the 1/totalW
+// normalization is applied once at the end, when totalW is known) and
+// recycles the payload. Peak live payloads shrink from "every upload
+// of the round" to the out-of-order window between the cursor and the
+// fastest worker. The global model is only read during the round
+// (concurrently with broadcast deliveries — also reads) and only
+// written in finishFold, after the parallel region and the broadcast
+// close.
+//
+// Determinism: the fold order is the sampling order whatever the
+// worker interleaving, and every float operation sequence is fixed, so
+// a compressed run is byte-identical across Workers settings and
+// backends — it differs from the dense path (which normalizes each
+// weight before accumulating), but only by its own fixed rounding.
+type folder struct {
+	s       *Simulation
+	round   int
+	sampled []int
+	ch      chan int
+	done    chan struct{}
+	ready   []bool
+	touched []bool // per-entry: accumulator region has folds
+	timely  int
+	totalW  float64
+	routed  []routedRow
+}
+
+// startFold zeroes the accumulator and launches the round's folder
+// goroutine.
+func (s *Simulation) startFold(round int, sampled []int) *folder {
+	f := &folder{
+		s:       s,
+		round:   round,
+		sampled: sampled,
+		ch:      make(chan int, len(sampled)),
+		done:    make(chan struct{}),
+		ready:   make([]bool, len(sampled)),
+		touched: make([]bool, s.global.Params().Len()),
+	}
+	mathx.Zero(s.aggBuf)
+	go f.run()
+	return f
+}
+
+// resolve signals that sample index i's outcome is final (s.payloads[i]
+// holds the arrival, or nil). Called once per index, from workers; the
+// channel send publishes the payload write to the folder goroutine.
+func (f *folder) resolve(i int) { f.ch <- i }
+
+func (f *folder) run() {
+	defer close(f.done)
+	next := 0
+	for n := len(f.sampled); next < n; {
+		f.ready[<-f.ch] = true
+		for next < n && f.ready[next] {
+			f.consume(next)
+			next++
+		}
+	}
+}
+
+// consume processes one resolved sample index in cursor order:
+// observation, straggler exclusion, private-row capture, accumulator
+// fold, recycle.
+func (f *folder) consume(i int) {
+	s := f.s
+	payload := s.payloads[i]
+	s.payloads[i] = nil
+	if payload == nil {
+		return // dropped, skipped or lost before arrival
+	}
+	u := f.sampled[i]
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnUpload(Message{Round: f.round, From: u, Params: payload})
+	}
+	if s.isStraggler(f.round, u) {
+		// Too late for aggregation; the adversary saw it anyway.
+		s.stragglers++
+		s.pool.Put(payload)
+		return
+	}
+	w := float64(len(s.cfg.Dataset.Train[u]))
+	f.timely++
+	f.totalW += w
+	gp := s.global.Params()
+	for ei := 0; ei < gp.Len(); ei++ {
+		ge := gp.At(ei)
+		if !payload.Has(ge.Name) {
+			continue
+		}
+		if _, isUserTable := s.privateSet[ge.Name]; isUserTable {
+			pe := payload.Entry(ge.Name)
+			f.routed = append(f.routed, routedRow{
+				name: ge.Name,
+				u:    u,
+				row:  append([]float64(nil), pe.Data[u*pe.Cols:(u+1)*pe.Cols]...),
+			})
+			continue
+		}
+		f.touched[ei] = true
+		acc := s.aggBuf[s.aggOff[ei] : s.aggOff[ei]+len(ge.Data)]
+		mathx.AxpyDiff(w, payload.Get(ge.Name), ge.Data, acc)
+	}
+	s.pool.Put(payload)
+}
+
+// finishFold waits for the folder to drain, then applies the round's
+// aggregate to the global model — unless the timely arrivals missed
+// quorum, in which case the accumulator (and the stashed private rows)
+// are discarded and the previous global model stands.
+func (s *Simulation) finishFold(f *folder, sampled []int) {
+	<-f.done
+	if s.cfg.Quorum > 0 && f.timely < int(math.Ceil(s.cfg.Quorum*float64(len(sampled)))) {
+		// Quorum miss: keep the previous global model.
+		s.quorumMisses++
+		return
+	}
+	if f.timely == 0 {
+		return
+	}
+	totalW := f.totalW
+	if totalW == 0 {
+		totalW = 1
+	}
+	gp := s.global.Params()
+	for _, r := range f.routed {
+		ge := gp.Entry(r.name)
+		copy(ge.Data[r.u*ge.Cols:(r.u+1)*ge.Cols], r.row)
+	}
+	for ei := 0; ei < gp.Len(); ei++ {
+		if !f.touched[ei] {
+			continue
+		}
+		ge := gp.At(ei)
+		mathx.Axpy(1/totalW, s.aggBuf[s.aggOff[ei]:s.aggOff[ei]+len(ge.Data)], ge.Data)
+	}
 }
 
 // UtilityHR computes the mean leave-one-out hit ratio across users,

@@ -128,6 +128,16 @@ type Config struct {
 	// share one across simulations.
 	Transport transport.Transport
 
+	// Compression selects the transport payload codec: the zero value
+	// keeps the dense float64 codec (bit-exact pushes, the golden
+	// reference), 8 or 16 bits switches every push to the
+	// sparse+quantized CPQ1 codec — coded absolute, as gossip has no
+	// broadcast to delta against. When Transport is nil the default
+	// inproc transport is built at this level; a non-nil Transport must
+	// either match or this field must be zero, in which case the
+	// transport's setting is adopted.
+	Compression param.Compression
+
 	// Workers bounds the number of goroutines running per-node work
 	// (view refresh, payload construction, inbox aggregation, local
 	// training) and the UtilityHR/UtilityF1 sweeps concurrently. 0
@@ -166,6 +176,14 @@ func (c *Config) validate() error {
 	}
 	if c.LossProb < 0 || c.LossProb >= 1 {
 		return fmt.Errorf("gossip: LossProb %v out of [0,1)", c.LossProb)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return fmt.Errorf("gossip: %w", err)
+	}
+	if c.Transport != nil {
+		if tc := c.Transport.Compression(); c.Compression.Enabled() && tc != c.Compression {
+			return fmt.Errorf("gossip: Config.Compression %v conflicts with the transport's %v", c.Compression, tc)
+		}
 	}
 	return nil
 }
@@ -271,11 +289,17 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.WakeProb == 0 {
 		cfg.WakeProb = 1
 	}
-	if cfg.Transport == nil {
-		cfg.Transport = transport.NewInproc()
-	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Transport == nil {
+		tr, err := transport.NewOptions("inproc", transport.Options{Compression: cfg.Compression})
+		if err != nil {
+			return nil, fmt.Errorf("gossip: %w", err)
+		}
+		cfg.Transport = tr
+	} else {
+		cfg.Compression = cfg.Transport.Compression()
 	}
 	rng := mathx.NewRand(cfg.Seed)
 	n := cfg.Dataset.NumUsers

@@ -1,0 +1,643 @@
+package param
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Lossy wire compression for parameter sets: sparse-index encoding of
+// mostly-zero payloads (sorted u32 coordinates + values) combined with
+// 8- or 16-bit linear quantization. It is the transport-level
+// counterpart of the defense layer's top-k sparsification
+// (internal/defense): a sparsified delta that the policy re-densified
+// goes back on the wire as indices and quantized values instead of a
+// full dense float64 image.
+//
+// Format (little-endian):
+//
+//	magic "CPQ1" | uint8 bits | uint32 numEntries | entries...
+//	entry: uint32 nameLen | name | uint32 rows | uint32 cols | uint8 flags
+//	  flags bit0: sparse — payload stores only nonzero coordinates
+//	  flags bit1: delta  — values are offsets against a reference set
+//	               the decoder must supply (DecodeFromRef)
+//	dense payload:  float64 lo | float64 hi | n × level
+//	sparse payload: uint32 nnz | float64 lo | float64 hi |
+//	                nnz × (uint32 index | level)
+//
+// A level is a uint8 or uint16 (per the prologue's bits field) on the
+// uniform grid between lo and hi; sparse indices are strictly
+// ascending row-major coordinates. The encoder picks the smaller of
+// the two payload forms per entry, so the format degrades gracefully:
+// dense-ish payloads cost n·bits/8 bytes, sparse ones nnz·(4+bits/8).
+//
+// Decoders accept both this format and the dense CPS1 format of
+// serialize.go by sniffing the 4-byte magic, which is what lets one
+// transport seam negotiate compression per payload.
+const compressMagic = "CPQ1"
+
+const (
+	flagSparse byte = 1 << 0
+	flagDelta  byte = 1 << 1
+)
+
+// codecRangeLimit bounds the values (after delta subtraction) the
+// compressed codec accepts: keeping lo/hi within ±1e300 guarantees
+// every reconstructed grid point is finite, so a decoded set can
+// always be re-encoded. A recommender simulation that leaves this
+// range has diverged long before compression is its problem.
+const codecRangeLimit = 1e300
+
+// sparseExpandBudget caps how many coordinates the untrusted decode
+// path (ReadFrom) will materialize for sparse entries across one
+// stream: a sparse entry's dense size is claimed by its header, not
+// carried as bytes, so without a cap a ~40-byte stream could demand
+// gigabytes of zero-fill. 2^22 float64s = 32 MiB. The transport's
+// in-place DecodeFromRef path has no such cap — its storage exists
+// before any byte is read.
+const sparseExpandBudget = 1 << 22
+
+// Compression selects the lossy wire codec. The zero value disables
+// compression: payloads travel as dense float64 CPS1 streams and the
+// transport stays value-transparent (the tolerance-0 golden
+// reference). Bits 8 or 16 enable CPQ1 sparse+quantized encoding.
+//
+// Error contract: with span = hi − lo the quantization range of an
+// entry (its value range, or its delta range when a reference is in
+// play), every reconstructed coordinate v' of an original value v
+// satisfies |v' − v| ≤ MaxError(span) — up to ordinary float64
+// rounding of the reconstruction arithmetic, and provided the grid is
+// not degenerate (span not many orders of magnitude below the values'
+// magnitude, where float64 itself cannot tell grid points apart).
+// Coordinates the sparse form leaves unstored are exact: zero, or the
+// reference value under delta coding. The bound is tested in
+// codec_test.go.
+type Compression struct {
+	// Bits is the quantization width per stored coordinate: 0 disables
+	// compression, 8 and 16 select the CPQ1 level width.
+	Bits int
+}
+
+// Enabled reports whether the lossy codec is selected.
+func (c Compression) Enabled() bool { return c.Bits != 0 }
+
+// Validate rejects widths the codec does not implement.
+func (c Compression) Validate() error {
+	switch c.Bits {
+	case 0, 8, 16:
+		return nil
+	}
+	return fmt.Errorf("param: unsupported compression %d (want off, 8 or 16 bits)", c.Bits)
+}
+
+// String renders the knob the way ParseCompression reads it.
+func (c Compression) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("%dbit", c.Bits)
+}
+
+// ParseCompression reads a compression spec: "off" (or "", "none")
+// disables, "8bit"/"8" and "16bit"/"16" select the width.
+func ParseCompression(s string) (Compression, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none", "0":
+		return Compression{}, nil
+	case "8", "8bit":
+		return Compression{Bits: 8}, nil
+	case "16", "16bit":
+		return Compression{Bits: 16}, nil
+	}
+	return Compression{}, fmt.Errorf("param: unknown compression %q (want off, 8bit or 16bit)", s)
+}
+
+// MaxError returns the documented per-coordinate reconstruction error
+// bound for a quantization span of hi−lo = span: half a grid step for
+// dense coordinates, plus up to one more step for the sparse form's
+// zero-avoidance nudge (see quantizer.levelNonzero).
+func (c Compression) MaxError(span float64) float64 {
+	if !c.Enabled() {
+		return 0
+	}
+	return 1.5 * span / float64(int(1)<<c.Bits-1)
+}
+
+// levelBytes is the stored size of one quantized level.
+func (c Compression) levelBytes() int { return c.Bits / 8 }
+
+// quantizer maps values in [lo, hi] onto 2^bits uniformly spaced
+// levels and back. Levels 0 and max reconstruct exactly lo and hi, so
+// the extremes of a payload survive the codec bit-for-bit and a
+// decoded set re-encodes onto the identical grid.
+type quantizer struct {
+	lo, hi, step float64
+	max          int
+}
+
+func newQuantizer(c Compression, lo, hi float64) quantizer {
+	m := int(1)<<c.Bits - 1
+	return quantizer{lo: lo, hi: hi, step: (hi - lo) / float64(m), max: m}
+}
+
+// value reconstructs a level.
+func (q quantizer) value(l int) float64 {
+	switch l {
+	case 0:
+		return q.lo
+	case q.max:
+		return q.hi
+	}
+	return q.lo + float64(l)*q.step
+}
+
+// level returns the canonical level for v: the level whose
+// reconstruction is nearest to v, lowest level on ties. The ±1
+// neighbor probe after the arithmetic guess makes grid points
+// quantize back to themselves even when (v−lo)/step cannot be
+// evaluated exactly — which is what makes encode∘decode∘encode
+// byte-stable.
+func (q quantizer) level(v float64) int {
+	if q.step <= 0 {
+		return 0
+	}
+	f := math.Round((v - q.lo) / q.step)
+	var l int
+	switch {
+	case f < 0:
+		l = 0
+	case f > float64(q.max):
+		l = q.max
+	default:
+		l = int(f)
+	}
+	best, bd := l, math.Abs(v-q.value(l))
+	for _, cand := range [2]int{l - 1, l + 1} {
+		if cand < 0 || cand > q.max {
+			continue
+		}
+		if d := math.Abs(v - q.value(cand)); d < bd || (d == bd && cand < best) {
+			best, bd = cand, d
+		}
+	}
+	return best
+}
+
+// levelNonzero is level for sparse-entry coordinates, which are
+// nonzero by selection and must stay nonzero through the codec: a
+// stored level reconstructing exactly 0.0 would be dropped from the
+// index set on re-encode. Such a level is nudged to the nearest level
+// with a nonzero reconstruction — one always exists, because lo and
+// hi are themselves stored nonzero values.
+func (q quantizer) levelNonzero(v float64) int {
+	l := q.level(v)
+	if q.value(l) != 0 {
+		return l
+	}
+	for off := 1; ; off++ {
+		if u := l + off; u <= q.max && q.value(u) != 0 {
+			return u
+		}
+		if d := l - off; d >= 0 && q.value(d) != 0 {
+			return d
+		}
+	}
+}
+
+// WriteCompressedTo serializes the set with the lossy CPQ1 codec.
+// When ref is non-nil, entries with a same-name same-shape entry in
+// ref are delta-coded against it — the transports pass the round's
+// broadcast source here, so an upload that diverges from the global
+// model in few coordinates encodes as a genuinely sparse delta. The
+// resulting stream decodes through DecodeFromRef with the same ref
+// (delta-free streams also through ReadFrom/DecodeFrom).
+//
+// All values (after delta subtraction) must be finite and within
+// ±1e300; see Compression for the reconstruction-error contract.
+func (s *Set) WriteCompressedTo(w io.Writer, c Compression, ref *Set) (int64, error) {
+	type buffered interface {
+		io.Writer
+		io.ByteWriter
+	}
+	if bw, ok := w.(buffered); ok {
+		return s.encodeCompressed(bw, c, ref)
+	}
+	bw := bufio.NewWriter(w)
+	n, err := s.encodeCompressed(bw, c, ref)
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+func (s *Set) encodeCompressed(w io.Writer, c Compression, ref *Set) (int64, error) {
+	if c.Bits != 8 && c.Bits != 16 {
+		return 0, fmt.Errorf("param: unsupported compression %d (want 8 or 16 bits)", c.Bits)
+	}
+	sp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(sp)
+	scratch := *sp
+	lb := c.levelBytes()
+	var n int64
+	write := func(b []byte) error {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		n += int64(len(b))
+		return nil
+	}
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		return write(scratch[:4])
+	}
+	writeF64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v))
+		return write(scratch[:8])
+	}
+	putLevel := func(b []byte, l int) {
+		if lb == 1 {
+			b[0] = byte(l)
+			return
+		}
+		binary.LittleEndian.PutUint16(b, uint16(l))
+	}
+	if _, err := io.WriteString(w, compressMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(compressMagic))
+	scratch[0] = byte(c.Bits)
+	if err := write(scratch[:1]); err != nil {
+		return n, err
+	}
+	if err := writeU32(uint32(len(s.entries))); err != nil {
+		return n, err
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		var refData []float64
+		if ref != nil {
+			if ri, ok := ref.index[e.Name]; ok {
+				if re := &ref.entries[ri]; re.Rows == e.Rows && re.Cols == e.Cols {
+					refData = re.Data
+				}
+			}
+		}
+		// First pass: value range and sparsity of the (delta) payload.
+		var nnz int
+		loAll, hiAll := math.Inf(1), math.Inf(-1)
+		loNZ, hiNZ := math.Inf(1), math.Inf(-1)
+		for j, v := range e.Data {
+			if refData != nil {
+				v -= refData[j]
+			}
+			if math.IsNaN(v) || v < -codecRangeLimit || v > codecRangeLimit {
+				return n, fmt.Errorf("param: entry %q: value %g at %d outside the codec's ±%g range",
+					e.Name, v, j, float64(codecRangeLimit))
+			}
+			loAll = math.Min(loAll, v)
+			hiAll = math.Max(hiAll, v)
+			if v != 0 {
+				nnz++
+				loNZ = math.Min(loNZ, v)
+				hiNZ = math.Max(hiNZ, v)
+			}
+		}
+		if len(e.Data) == 0 {
+			loAll, hiAll = 0, 0
+		}
+		if nnz == 0 {
+			loNZ, hiNZ = 0, 0
+		}
+		sparse := 20+nnz*(4+lb) < 16+len(e.Data)*lb
+		flags := byte(0)
+		if sparse {
+			flags |= flagSparse
+		}
+		if refData != nil {
+			flags |= flagDelta
+		}
+		if err := writeU32(uint32(len(e.Name))); err != nil {
+			return n, err
+		}
+		if _, err := io.WriteString(w, e.Name); err != nil {
+			return n, err
+		}
+		n += int64(len(e.Name))
+		if err := writeU32(uint32(e.Rows)); err != nil {
+			return n, err
+		}
+		if err := writeU32(uint32(e.Cols)); err != nil {
+			return n, err
+		}
+		scratch[0] = flags
+		if err := write(scratch[:1]); err != nil {
+			return n, err
+		}
+		if sparse {
+			if err := writeU32(uint32(nnz)); err != nil {
+				return n, err
+			}
+			if err := writeF64(loNZ); err != nil {
+				return n, err
+			}
+			if err := writeF64(hiNZ); err != nil {
+				return n, err
+			}
+			q := newQuantizer(c, loNZ, hiNZ)
+			pair := 4 + lb
+			k := 0
+			for j, v := range e.Data {
+				if refData != nil {
+					v -= refData[j]
+				}
+				if v == 0 {
+					continue
+				}
+				binary.LittleEndian.PutUint32(scratch[k:], uint32(j))
+				putLevel(scratch[k+4:], q.levelNonzero(v))
+				if k += pair; k+pair > len(scratch) {
+					if err := write(scratch[:k]); err != nil {
+						return n, err
+					}
+					k = 0
+				}
+			}
+			if k > 0 {
+				if err := write(scratch[:k]); err != nil {
+					return n, err
+				}
+			}
+		} else {
+			if err := writeF64(loAll); err != nil {
+				return n, err
+			}
+			if err := writeF64(hiAll); err != nil {
+				return n, err
+			}
+			q := newQuantizer(c, loAll, hiAll)
+			k := 0
+			for j, v := range e.Data {
+				if refData != nil {
+					v -= refData[j]
+				}
+				putLevel(scratch[k:], q.level(v))
+				if k += lb; k+lb > len(scratch) {
+					if err := write(scratch[:k]); err != nil {
+						return n, err
+					}
+					k = 0
+				}
+			}
+			if k > 0 {
+				if err := write(scratch[:k]); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+func (d *wireReader) u8(v *byte) error {
+	if err := d.full(d.scratch[:1]); err != nil {
+		return err
+	}
+	*v = d.scratch[0]
+	return nil
+}
+
+func (d *wireReader) f64(v *float64) error {
+	if err := d.full(d.scratch[:8]); err != nil {
+		return err
+	}
+	*v = math.Float64frombits(binary.LittleEndian.Uint64(d.scratch[:8]))
+	return nil
+}
+
+// quantRange reads and validates one entry's lo/hi quantization range.
+// The ±1e300 limit mirrors the encoder's, so every level of a valid
+// stream reconstructs to a finite value.
+func (d *wireReader) quantRange(c Compression) (quantizer, error) {
+	var lo, hi float64
+	if err := d.f64(&lo); err != nil {
+		return quantizer{}, fmt.Errorf("quantization range: %w", err)
+	}
+	if err := d.f64(&hi); err != nil {
+		return quantizer{}, fmt.Errorf("quantization range: %w", err)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi ||
+		lo < -codecRangeLimit || hi > codecRangeLimit {
+		return quantizer{}, fmt.Errorf("invalid quantization range [%g, %g]", lo, hi)
+	}
+	return newQuantizer(c, lo, hi), nil
+}
+
+// levelAt reads one stored level.
+func levelAt(b []byte, lb int) int {
+	if lb == 1 {
+		return int(b[0])
+	}
+	return int(binary.LittleEndian.Uint16(b))
+}
+
+// sparseBody walks a sparse entry payload — nnz (index, level) pairs —
+// calling fn with each reconstructed coordinate in ascending index
+// order. Indices must be strictly ascending and below size; the pairs
+// stream through scratch, so a lying nnz costs no allocation.
+func (d *wireReader) sparseBody(q quantizer, c Compression, size uint64, nnz uint32, fn func(idx int, v float64)) error {
+	lb := c.levelBytes()
+	pair := 4 + lb
+	perChunk := len(d.scratch) / pair
+	prev := -1
+	for read := 0; read < int(nnz); {
+		cn := min(int(nnz)-read, perChunk)
+		buf := d.scratch[:pair*cn]
+		if err := d.full(buf); err != nil {
+			return err
+		}
+		for j := 0; j < cn; j++ {
+			off := pair * j
+			idx := int(binary.LittleEndian.Uint32(buf[off:]))
+			if idx <= prev {
+				return fmt.Errorf("sparse index %d after %d (want strictly ascending)", idx, prev)
+			}
+			if uint64(idx) >= size {
+				return fmt.Errorf("sparse index %d out of range (size %d)", idx, size)
+			}
+			prev = idx
+			fn(idx, q.value(levelAt(buf[off+4:], lb)))
+		}
+		read += cn
+	}
+	return nil
+}
+
+// denseBody walks a dense-quantized entry payload of size levels,
+// calling fn with each reconstructed coordinate in order.
+func (d *wireReader) denseBody(q quantizer, c Compression, size uint64, fn func(idx int, v float64)) error {
+	lb := c.levelBytes()
+	perChunk := len(d.scratch) / lb
+	for done := 0; uint64(done) < size; {
+		cn := min(int(size-uint64(done)), perChunk)
+		buf := d.scratch[:lb*cn]
+		if err := d.full(buf); err != nil {
+			return err
+		}
+		for j := 0; j < cn; j++ {
+			fn(done+j, q.value(levelAt(buf[lb*j:], lb)))
+		}
+		done += cn
+	}
+	return nil
+}
+
+// readCompressed is ReadFrom's CPQ1 tail: the untrusted allocating
+// decode, entered after the prologue has been consumed. Delta-coded
+// entries are rejected — without the encoder's reference there is
+// nothing sound to reconstruct; the transports decode deltas in place
+// via DecodeFromRef.
+func (s *Set) readCompressed(d *wireReader, c Compression, count uint32) error {
+	out := New()
+	budget := int64(sparseExpandBudget)
+	for i := uint32(0); i < count; i++ {
+		nameBytes, rows, cols, err := d.entryHeader(i)
+		if err != nil {
+			return err
+		}
+		name := string(nameBytes)
+		if out.Has(name) {
+			return fmt.Errorf("param: duplicate entry %q", name)
+		}
+		size := uint64(rows) * uint64(cols)
+		if size > 1<<32 {
+			return fmt.Errorf("param: entry %q implausible size %d", name, size)
+		}
+		var flags byte
+		if err := d.u8(&flags); err != nil {
+			return fmt.Errorf("param: entry %q flags: %w", name, err)
+		}
+		if flags&^(flagSparse|flagDelta) != 0 {
+			return fmt.Errorf("param: entry %q unknown flags %#x", name, flags)
+		}
+		if flags&flagDelta != 0 {
+			return fmt.Errorf("param: entry %q is delta-coded and only decodes against a reference (DecodeFromRef)", name)
+		}
+		if flags&flagSparse != 0 {
+			var nnz uint32
+			if err := d.u32(&nnz); err != nil {
+				return fmt.Errorf("param: entry %q sparse count: %w", name, err)
+			}
+			if uint64(nnz) > size {
+				return fmt.Errorf("param: entry %q sparse count %d exceeds size %d", name, nnz, size)
+			}
+			q, err := d.quantRange(c)
+			if err != nil {
+				return fmt.Errorf("param: entry %q %w", name, err)
+			}
+			if int64(size) > budget {
+				return fmt.Errorf("param: entry %q sparse expansion %d exceeds the stream budget (%d values)",
+					name, size, int64(sparseExpandBudget))
+			}
+			budget -= int64(size)
+			data := make([]float64, size)
+			if err := d.sparseBody(q, c, size, nnz, func(idx int, v float64) { data[idx] = v }); err != nil {
+				return fmt.Errorf("param: entry %q: %w", name, err)
+			}
+			out.Add(name, int(rows), int(cols), data)
+		} else {
+			q, err := d.quantRange(c)
+			if err != nil {
+				return fmt.Errorf("param: entry %q %w", name, err)
+			}
+			data := make([]float64, 0, min(size, floatChunk))
+			if err := d.denseBody(q, c, size, func(_ int, v float64) { data = append(data, v) }); err != nil {
+				return fmt.Errorf("param: entry %q data: %w", name, err)
+			}
+			out.Add(name, int(rows), int(cols), data)
+		}
+	}
+	*s = *out
+	return nil
+}
+
+// decodeCompressed is DecodeFromRef's CPQ1 tail: the in-place
+// structure-matched decode of the transport receive path, entered
+// after the prologue has been consumed. Delta-coded entries
+// reconstruct against ref, which must carry a same-name same-shape
+// entry (the transports pass the broadcast source the encoder used).
+func (s *Set) decodeCompressed(d *wireReader, c Compression, ref *Set) error {
+	for i := range s.entries {
+		e := &s.entries[i]
+		name, rows, cols, err := d.entryHeader(uint32(i))
+		if err != nil {
+			return err
+		}
+		if string(name) != e.Name {
+			return fmt.Errorf("param: entry %d name %q != receiver's %q", i, name, e.Name)
+		}
+		if int(rows) != e.Rows || int(cols) != e.Cols {
+			return fmt.Errorf("param: entry %q shape %dx%d != receiver's %dx%d",
+				e.Name, rows, cols, e.Rows, e.Cols)
+		}
+		var flags byte
+		if err := d.u8(&flags); err != nil {
+			return fmt.Errorf("param: entry %q flags: %w", e.Name, err)
+		}
+		if flags&^(flagSparse|flagDelta) != 0 {
+			return fmt.Errorf("param: entry %q unknown flags %#x", e.Name, flags)
+		}
+		var refData []float64
+		if flags&flagDelta != 0 {
+			var re *Entry
+			if ref != nil {
+				if ri, ok := ref.index[e.Name]; ok {
+					re = &ref.entries[ri]
+				}
+			}
+			if re == nil || re.Rows != e.Rows || re.Cols != e.Cols {
+				return fmt.Errorf("param: entry %q is delta-coded but the reference set has no matching entry", e.Name)
+			}
+			refData = re.Data
+		}
+		size := uint64(len(e.Data))
+		if flags&flagSparse != 0 {
+			var nnz uint32
+			if err := d.u32(&nnz); err != nil {
+				return fmt.Errorf("param: entry %q sparse count: %w", e.Name, err)
+			}
+			if uint64(nnz) > size {
+				return fmt.Errorf("param: entry %q sparse count %d exceeds size %d", e.Name, nnz, size)
+			}
+			q, err := d.quantRange(c)
+			if err != nil {
+				return fmt.Errorf("param: entry %q %w", e.Name, err)
+			}
+			// Unstored coordinates are exact: the reference value under
+			// delta coding, zero otherwise.
+			if refData != nil {
+				copy(e.Data, refData)
+			} else {
+				clear(e.Data)
+			}
+			if err := d.sparseBody(q, c, size, nnz, func(idx int, v float64) { e.Data[idx] += v }); err != nil {
+				return fmt.Errorf("param: entry %q: %w", e.Name, err)
+			}
+		} else {
+			q, err := d.quantRange(c)
+			if err != nil {
+				return fmt.Errorf("param: entry %q %w", e.Name, err)
+			}
+			fn := func(idx int, v float64) { e.Data[idx] = v }
+			if refData != nil {
+				fn = func(idx int, v float64) { e.Data[idx] = refData[idx] + v }
+			}
+			if err := d.denseBody(q, c, size, fn); err != nil {
+				return fmt.Errorf("param: entry %q data: %w", e.Name, err)
+			}
+		}
+	}
+	return nil
+}

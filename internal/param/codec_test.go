@@ -1,0 +1,334 @@
+package param
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// compressRoundTrip encodes s with c against ref and decodes the bytes
+// back through the transport's in-place path, returning the
+// reconstruction and the encoded size.
+func compressRoundTrip(t *testing.T, s *Set, c Compression, ref *Set) (*Set, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := s.WriteCompressedTo(&buf, c, ref)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	dec := s.Clone()
+	for i := 0; i < dec.Len(); i++ {
+		d := dec.At(i).Data
+		for j := range d {
+			d[j] = math.Inf(1) // scrub so reconstruction is not vacuous
+		}
+	}
+	dn, err := dec.DecodeFromRef(bytes.NewReader(buf.Bytes()), ref)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dn != n {
+		t.Fatalf("decode consumed %d of %d bytes", dn, n)
+	}
+	return dec, buf.Len()
+}
+
+// quantTestPayloads builds deterministic payloads covering the shapes
+// the quantizer must survive: smooth random ranges at several scales,
+// constant and near-constant entries, signed and single-value data,
+// and an empty entry.
+func quantTestPayloads(seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := New()
+	smooth := make([]float64, 400)
+	for i := range smooth {
+		smooth[i] = rng.NormFloat64()
+	}
+	s.Add("smooth", 20, 20, smooth)
+	scaled := make([]float64, 300)
+	for i := range scaled {
+		scaled[i] = 1e-6 * (rng.Float64() - 0.5)
+	}
+	s.Add("tiny_scale", 30, 10, scaled)
+	big := make([]float64, 64)
+	for i := range big {
+		big[i] = 1e9 * rng.Float64()
+	}
+	s.Add("big_scale", 8, 8, big)
+	s.AddVector("constant", []float64{3.25, 3.25, 3.25, 3.25})
+	s.AddVector("single", []float64{-42.5})
+	s.AddVector("signed", []float64{-1, 1, -0.5, 0.5, 0})
+	s.Add("empty", 0, 3, nil)
+	return s
+}
+
+// The documented error contract: every reconstructed coordinate is
+// within Compression.MaxError of the original, where the span is the
+// entry's own value range (its nonzero range when the encoder went
+// sparse — storedness is part of the contract, so an exact-zero
+// coordinate stays exactly zero).
+func TestQuantizationErrorBound(t *testing.T) {
+	for _, bits := range []int{8, 16} {
+		c := Compression{Bits: bits}
+		src := quantTestPayloads(11)
+		dec, _ := compressRoundTrip(t, src, c, nil)
+		for i := 0; i < src.Len(); i++ {
+			e := src.At(i)
+			got := dec.Get(e.Name)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range e.Data {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			bound := c.MaxError(hi - lo)
+			// Up to ordinary float64 rounding of the reconstruction.
+			slack := 1e-12 * math.Max(math.Abs(lo), math.Abs(hi))
+			for j, v := range e.Data {
+				if err := math.Abs(got[j] - v); err > bound+slack {
+					t.Errorf("%dbit %s[%d]: |%g - %g| = %g exceeds bound %g",
+						bits, e.Name, j, got[j], v, err, bound)
+				}
+			}
+		}
+	}
+}
+
+// Delta coding against a reference: the bound applies to the delta's
+// range (far tighter than the absolute range when client and global
+// models differ in few coordinates), and coordinates with a zero
+// delta reconstruct the reference value exactly.
+func TestQuantizationErrorBoundDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, bits := range []int{8, 16} {
+		c := Compression{Bits: bits}
+		ref := New()
+		data := make([]float64, 500)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		ref.Add("emb", 50, 10, data)
+		src := ref.Clone()
+		d := src.Get("emb")
+		// Perturb 7% of the coordinates, as a local training step would.
+		var deltaLo, deltaHi float64
+		for i := range d {
+			if rng.Float64() < 0.07 {
+				delta := 0.01 * rng.NormFloat64()
+				d[i] += delta
+				deltaLo = math.Min(deltaLo, d[i]-data[i])
+				deltaHi = math.Max(deltaHi, d[i]-data[i])
+			}
+		}
+		dec, size := compressRoundTrip(t, src, c, ref)
+		bound := c.MaxError(deltaHi - deltaLo)
+		got := dec.Get("emb")
+		for i, v := range d {
+			if v == data[i] {
+				if got[i] != data[i] {
+					t.Fatalf("%dbit: untouched coordinate %d: %g != reference %g", bits, i, got[i], data[i])
+				}
+				continue
+			}
+			if err := math.Abs(got[i] - v); err > bound+1e-12 {
+				t.Errorf("%dbit emb[%d]: error %g exceeds delta bound %g", bits, i, err, bound)
+			}
+		}
+		if dense := len(d) * bits / 8; size >= dense {
+			t.Errorf("%dbit: sparse delta encoding (%d bytes) not smaller than dense levels (%d bytes)",
+				bits, size, dense)
+		}
+	}
+}
+
+// Round-trip canonicality: encode∘decode∘encode is byte-stable — in
+// fact on non-degenerate payloads the very first re-encode reproduces
+// the stream, because levels 0 and max are always attained (so the
+// grid survives exactly) and every grid point re-quantizes to itself.
+func TestCompressedRoundTripCanonical(t *testing.T) {
+	for _, bits := range []int{8, 16} {
+		c := Compression{Bits: bits}
+		for _, tc := range []struct {
+			name string
+			src  *Set
+			ref  *Set
+		}{
+			{"absolute", quantTestPayloads(23), nil},
+			{"delta", quantTestPayloads(29), quantTestPayloads(31)},
+			{"empty-set", New(), nil},
+			{"all-zero", func() *Set {
+				s := New()
+				s.Add("z", 16, 16, make([]float64, 256))
+				return s
+			}(), nil},
+		} {
+			var e1 bytes.Buffer
+			if _, err := tc.src.WriteCompressedTo(&e1, c, tc.ref); err != nil {
+				t.Fatalf("%dbit %s: encode: %v", bits, tc.name, err)
+			}
+			dec := tc.src.Clone()
+			if _, err := dec.DecodeFromRef(bytes.NewReader(e1.Bytes()), tc.ref); err != nil {
+				t.Fatalf("%dbit %s: decode: %v", bits, tc.name, err)
+			}
+			var e2 bytes.Buffer
+			if _, err := dec.WriteCompressedTo(&e2, c, tc.ref); err != nil {
+				t.Fatalf("%dbit %s: re-encode: %v", bits, tc.name, err)
+			}
+			if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+				t.Errorf("%dbit %s: re-encode of the decoded set is not byte-identical (%d vs %d bytes)",
+					bits, tc.name, e1.Len(), e2.Len())
+			}
+		}
+	}
+}
+
+// Sparsify-then-encode idempotence: a payload that is already a
+// sparse delta against the reference (the shape defense.TopKSparsify
+// emits) keeps its sparsity pattern through the codec — unstored
+// coordinates reconstruct the reference exactly, stored ones stay
+// stored — so encoding the reconstruction changes nothing.
+func TestSparsifyThenEncodeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ref := quantTestPayloads(43)
+	src := ref.Clone()
+	// Sparse top-k-style delta: touch ~5% of each entry's coordinates.
+	touched := 0
+	for i := 0; i < src.Len(); i++ {
+		d := src.At(i).Data
+		for j := range d {
+			if rng.Float64() < 0.05 {
+				d[j] += 0.1 * rng.NormFloat64()
+				touched++
+			}
+		}
+	}
+	c := Compression{Bits: 8}
+	dec1, size1 := compressRoundTrip(t, src, c, ref)
+	dec2, size2 := compressRoundTrip(t, dec1, c, ref)
+	if size1 != size2 {
+		t.Errorf("re-encode changed the size: %d then %d bytes", size1, size2)
+	}
+	if !Equal(dec1, dec2, 0) {
+		t.Error("second codec pass changed values: sparsify-then-encode is not idempotent")
+	}
+	// The sparsity pattern survived: exactly the untouched coordinates
+	// equal the reference.
+	same := 0
+	total := 0
+	for i := 0; i < ref.Len(); i++ {
+		e := ref.At(i)
+		got := dec1.Get(e.Name)
+		total += len(e.Data)
+		for j := range e.Data {
+			if got[j] == e.Data[j] {
+				same++
+			}
+		}
+	}
+	if want := total - touched; same < want {
+		t.Errorf("%d coordinates reconstruct the reference exactly, want at least the %d untouched ones", same, want)
+	}
+}
+
+// The per-payload negotiation: a dense-ish payload must not pay the
+// sparse form's index overhead, and either form must beat the dense
+// float64 wire size at 8 bits by a wide margin.
+func TestCompressedModeChoice(t *testing.T) {
+	c := Compression{Bits: 8}
+	dense := New()
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i%17) - 8
+	}
+	dense.Add("d", 100, 10, vals)
+	_, denseSize := compressRoundTrip(t, dense, c, nil)
+	if denseSize > 1100 {
+		t.Errorf("dense-ish 1000-value payload took %d bytes (want ≈1 byte/value)", denseSize)
+	}
+	if raw := dense.WireBytes(); denseSize*4 > raw {
+		t.Errorf("8-bit encoding %d bytes vs %d dense float64 — less than 4x smaller", denseSize, raw)
+	}
+	sparse := New()
+	sv := make([]float64, 1000)
+	sv[3], sv[500], sv[999] = 1, -2, 3
+	sparse.Add("s", 100, 10, sv)
+	dec, sparseSize := compressRoundTrip(t, sparse, c, nil)
+	if sparseSize > 100 {
+		t.Errorf("3-of-1000 sparse payload took %d bytes (want ≈5 bytes/stored value)", sparseSize)
+	}
+	for i, v := range dec.Get("s") {
+		if sv[i] == 0 && v != 0 {
+			t.Fatalf("sparse form must keep exact zeros: coordinate %d became %g", i, v)
+		}
+		if sv[i] != 0 && v == 0 {
+			t.Fatalf("stored coordinate %d collapsed to zero", i)
+		}
+	}
+}
+
+func TestParseCompression(t *testing.T) {
+	for spec, want := range map[string]Compression{
+		"":      {},
+		"off":   {},
+		"none":  {},
+		"8":     {Bits: 8},
+		"8bit":  {Bits: 8},
+		"16":    {Bits: 16},
+		"16BIT": {Bits: 16},
+	} {
+		got, err := ParseCompression(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseCompression(%q) = %v, %v; want %v", spec, got, err, want)
+		}
+		if _, err := ParseCompression(got.String()); err != nil {
+			t.Errorf("String/Parse round trip broken for %q", spec)
+		}
+	}
+	for _, bad := range []string{"4bit", "32", "fast", "8 bit"} {
+		if _, err := ParseCompression(bad); err == nil {
+			t.Errorf("ParseCompression(%q) should fail", bad)
+		}
+	}
+	if err := (Compression{Bits: 12}).Validate(); err == nil {
+		t.Error("Validate must reject 12-bit compression")
+	}
+}
+
+// Delta streams only decode against the encoder's reference: the
+// untrusted path rejects them, and the in-place path demands a
+// matching reference entry.
+func TestDeltaStreamNeedsReference(t *testing.T) {
+	ref := quantTestPayloads(53)
+	src := ref.Clone()
+	var buf bytes.Buffer
+	if _, err := src.WriteCompressedTo(&buf, Compression{Bits: 8}, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New().ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("ReadFrom must reject delta-coded entries")
+	}
+	if _, err := src.Clone().DecodeFromRef(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Error("DecodeFromRef without a reference must reject delta-coded entries")
+	}
+	if _, err := src.Clone().DecodeFromRef(bytes.NewReader(buf.Bytes()), ref); err != nil {
+		t.Errorf("DecodeFromRef with the encoder's reference failed: %v", err)
+	}
+}
+
+// Compression requires finite payloads: a diverged simulation fails
+// loudly at the encoder instead of writing an undecodable range.
+func TestCompressedEncodeRejectsNonFinite(t *testing.T) {
+	s := New()
+	s.AddVector("v", []float64{1, math.NaN()})
+	if _, err := s.WriteCompressedTo(&bytes.Buffer{}, Compression{Bits: 8}, nil); err == nil {
+		t.Error("NaN payload must fail to encode")
+	}
+	s2 := New()
+	s2.AddVector("v", []float64{1, math.Inf(-1)})
+	if _, err := s2.WriteCompressedTo(&bytes.Buffer{}, Compression{Bits: 16}, nil); err == nil {
+		t.Error("Inf payload must fail to encode")
+	}
+}

@@ -46,6 +46,12 @@ func FuzzParamSetReadFrom(f *testing.F) {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if bytes.HasPrefix(data, []byte(compressMagic)) {
+			// Mutated into the lossy CPQ1 format, whose re-encode is not
+			// byte-identical to the input; FuzzSparseCodecDecode owns
+			// that space with the compressed invariants.
+			return
+		}
 		s := New()
 		n, err := s.ReadFrom(bytes.NewReader(data))
 		if n > int64(len(data)) {

@@ -168,20 +168,33 @@ func (d *wireReader) u32(v *uint32) error {
 	return nil
 }
 
-// header consumes and validates the stream prologue, returning the
-// declared entry count.
-func (d *wireReader) header() (uint32, error) {
-	if err := d.full(d.scratch[:len(serializeMagic)]); err != nil {
-		return 0, fmt.Errorf("param: read magic: %w", err)
+// header consumes and validates the stream prologue — magic, the
+// compressed format's quantization width, and the entry count —
+// reporting which codec the stream carries: comp.Enabled() selects
+// the CPQ1 sparse+quantized decode (codec.go), otherwise the stream
+// is a dense CPS1 one.
+func (d *wireReader) header() (comp Compression, count uint32, err error) {
+	if err = d.full(d.scratch[:len(serializeMagic)]); err != nil {
+		return comp, 0, fmt.Errorf("param: read magic: %w", err)
 	}
-	if string(d.scratch[:len(serializeMagic)]) != serializeMagic {
-		return 0, fmt.Errorf("param: bad magic %q", d.scratch[:len(serializeMagic)])
+	switch string(d.scratch[:len(serializeMagic)]) {
+	case serializeMagic:
+	case compressMagic:
+		var bits byte
+		if err = d.u8(&bits); err != nil {
+			return comp, 0, fmt.Errorf("param: read quantization width: %w", err)
+		}
+		if bits != 8 && bits != 16 {
+			return comp, 0, fmt.Errorf("param: unsupported quantization width %d", bits)
+		}
+		comp = Compression{Bits: int(bits)}
+	default:
+		return comp, 0, fmt.Errorf("param: bad magic %q", d.scratch[:len(serializeMagic)])
 	}
-	var count uint32
-	if err := d.u32(&count); err != nil {
-		return 0, fmt.Errorf("param: read entry count: %w", err)
+	if err = d.u32(&count); err != nil {
+		return comp, 0, fmt.Errorf("param: read entry count: %w", err)
 	}
-	return count, nil
+	return comp, count, nil
 }
 
 // entryHeader consumes one entry's name-length/name/rows/cols fields.
@@ -209,25 +222,33 @@ func (d *wireReader) entryHeader(i uint32) (name []byte, rows, cols uint32, err 
 	return name, rows, cols, nil
 }
 
-// ReadFrom deserializes a set previously produced by WriteTo,
-// replacing the receiver's contents. It implements io.ReaderFrom.
+// ReadFrom deserializes a set previously produced by WriteTo or
+// WriteCompressedTo (the codec is sniffed from the magic), replacing
+// the receiver's contents. It implements io.ReaderFrom.
 //
 // ReadFrom is the untrusted-input entry point (checkpoint loading,
 // fuzzing): malformed streams — bad magic, truncation, implausible
-// shapes, duplicate entry names, NaN values — fail with an error, never
-// a panic, and entry storage grows incrementally with the bytes that
-// actually arrive, so a header lying about its size cannot trigger a
-// huge allocation.
+// shapes, duplicate entry names, NaN values, unsorted sparse indices —
+// fail with an error, never a panic, and entry storage grows
+// incrementally with the bytes that actually arrive (plus a bounded
+// zero-fill budget for compressed sparse entries), so a header lying
+// about its size cannot trigger a huge allocation. Delta-coded
+// compressed entries are rejected: they only reconstruct against the
+// encoder's reference, via DecodeFromRef.
 func (s *Set) ReadFrom(r io.Reader) (int64, error) {
 	sp := scratchPool.Get().(*[]byte)
 	defer scratchPool.Put(sp)
 	d := wireReader{r: bufio.NewReader(r), scratch: *sp}
-	count, err := d.header()
+	comp, count, err := d.header()
 	if err != nil {
 		return d.n, err
 	}
 	if count > 1<<20 {
 		return d.n, fmt.Errorf("param: implausible entry count %d", count)
+	}
+	if comp.Enabled() {
+		err := s.readCompressed(&d, comp, count)
+		return d.n, err
 	}
 	out := New()
 	for i := uint32(0); i < count; i++ {
@@ -291,16 +312,33 @@ func (s *Set) ReadFrom(r io.Reader) (int64, error) {
 // ReadFrom, DecodeFrom does not reject NaN: the transport must be
 // value-transparent and deliver whatever the sender's simulation
 // produced — input validation belongs to the checkpoint-loading path.
+//
+// DecodeFrom also accepts compressed (CPQ1) streams, sniffed from the
+// magic, as long as they carry no delta-coded entries; those need
+// DecodeFromRef.
 func (s *Set) DecodeFrom(r io.Reader) (int64, error) {
+	return s.DecodeFromRef(r, nil)
+}
+
+// DecodeFromRef is DecodeFrom for streams that may be delta-coded:
+// compressed (CPQ1) entries flagged as deltas reconstruct against
+// ref's same-name entry — the transports pass the broadcast source the
+// sending side encoded against. ref may be nil when the stream carries
+// no deltas, and is ignored entirely for dense CPS1 streams.
+func (s *Set) DecodeFromRef(r io.Reader, ref *Set) (int64, error) {
 	sp := scratchPool.Get().(*[]byte)
 	defer scratchPool.Put(sp)
 	d := wireReader{r: r, scratch: *sp}
-	count, err := d.header()
+	comp, count, err := d.header()
 	if err != nil {
 		return d.n, err
 	}
 	if int(count) != len(s.entries) {
 		return d.n, fmt.Errorf("param: decode entry count %d != receiver's %d", count, len(s.entries))
+	}
+	if comp.Enabled() {
+		err := s.decodeCompressed(&d, comp, ref)
+		return d.n, err
 	}
 	for i := range s.entries {
 		e := &s.entries[i]

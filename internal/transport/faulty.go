@@ -270,6 +270,10 @@ func (t *Faulty) Inner() Transport { return t.inner }
 // Name implements Transport.
 func (t *Faulty) Name() string { return FaultyPrefix + t.inner.Name() }
 
+// Compression implements Transport, reporting the inner backend's
+// payload codec (the wrapper injects losses, not bytes).
+func (t *Faulty) Compression() param.Compression { return t.inner.Compression() }
+
 // Stats implements Transport: the inner backend's traffic plus the
 // injected-fault count (lost transfers are not counted as traffic —
 // they never reached the inner backend).

@@ -169,7 +169,8 @@ func TestFaultyInjectsAndRecycles(t *testing.T) {
 		t.Fatal("failed Send must return a nil set")
 	}
 	// The payload went back to the pool: a shaped Get must find it.
-	if reused := pool.GetShaped(payload); reused == nil {
+	// Not assertable under -race, whose runtime drops random pool puts.
+	if reused := pool.GetShaped(payload); reused == nil && !raceEnabled {
 		t.Fatal("failed Send did not recycle the payload into the pool")
 	}
 	st := tr.Stats()

@@ -34,6 +34,7 @@ import (
 // unreachable participant.
 type Socket struct {
 	counters
+	compressor
 	name string
 	cl   *rpc.Client
 	srv  *rpc.Server // loopback mode only
@@ -46,7 +47,7 @@ var _ Transport = (*Socket)(nil)
 // newLoopbackSocket starts an in-process rpc.Server on the given
 // network ("unix" on a fresh temp-dir socket path, "tcp" on a
 // kernel-assigned loopback port) and connects a Socket to it.
-func newLoopbackSocket(network string, policy rpc.RetryPolicy) (*Socket, error) {
+func newLoopbackSocket(network string, policy rpc.RetryPolicy, comp param.Compression) (*Socket, error) {
 	var addr, dir string
 	switch network {
 	case "unix":
@@ -68,7 +69,7 @@ func newLoopbackSocket(network string, policy rpc.RetryPolicy) (*Socket, error) 
 		}
 		return nil, err
 	}
-	t, err := dialSocket(network, srv.Addr(), policy)
+	t, err := dialSocket(network, srv.Addr(), policy, comp)
 	if err != nil {
 		srv.Close()
 		if dir != "" {
@@ -82,7 +83,7 @@ func newLoopbackSocket(network string, policy rpc.RetryPolicy) (*Socket, error) 
 }
 
 // dialSocket connects a Socket to an already-running server.
-func dialSocket(network, addr string, policy rpc.RetryPolicy) (*Socket, error) {
+func dialSocket(network, addr string, policy rpc.RetryPolicy, comp param.Compression) (*Socket, error) {
 	cl, err := rpc.DialPolicy(network, addr, policy)
 	if err != nil {
 		return nil, err
@@ -91,7 +92,9 @@ func dialSocket(network, addr string, policy rpc.RetryPolicy) (*Socket, error) {
 	if network == "tcp" {
 		name = "socket-tcp"
 	}
-	return &Socket{name: name, cl: cl}, nil
+	t := &Socket{name: name, cl: cl}
+	t.comp = comp
+	return t, nil
 }
 
 // Name implements Transport.
@@ -134,22 +137,20 @@ func (t *Socket) getBuf() *bytes.Buffer {
 }
 
 // encode marshals s into a pooled buffer and returns it with the
-// encoded length.
-func (t *Socket) encode(s *param.Set) (*bytes.Buffer, int64) {
+// encoded length (delta-coded against ref in compressed mode).
+func (t *Socket) encode(s, ref *param.Set) (*bytes.Buffer, int64) {
 	buf := t.getBuf()
-	n, err := s.WriteTo(buf)
-	if err != nil {
-		panic(fmt.Sprintf("transport: socket encode: %v", err))
-	}
-	return buf, n
+	return buf, t.encodeSet(buf, s, ref)
 }
 
 // decodeFrame decodes an RPC response payload into dst, which must
-// have the encoded structure.
-func decodeFrame(f *rpc.Frame, dst *param.Set) error {
+// have the encoded structure (and the encoder's ref in compressed
+// delta mode — the server relays the frame bytes untouched, so the
+// reference lives only on this, the encoding, side).
+func decodeFrame(f *rpc.Frame, dst, ref *param.Set) error {
 	var r bytes.Reader
 	r.Reset(f.Payload)
-	if _, err := dst.DecodeFrom(&r); err != nil {
+	if _, err := dst.DecodeFromRef(&r, ref); err != nil {
 		return err
 	}
 	return nil
@@ -163,7 +164,9 @@ func decodeFrame(f *rpc.Frame, dst *param.Set) error {
 // the pool, and the error surfaces for the simulator to treat as a
 // lost message.
 func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) (*param.Set, error) {
-	buf, n := t.encode(payload)
+	ref := t.sendRef(round)
+	wire := int64(payload.WireBytes())
+	buf, n := t.encode(payload, ref)
 	recv := pool.GetShaped(payload)
 	if recv == nil {
 		// Pool cold (first rounds): clone the payload for its structure;
@@ -175,7 +178,7 @@ func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) 
 		if f.Type != rpc.MsgSendAck {
 			return fmt.Errorf("unexpected response type %d to send", f.Type)
 		}
-		return decodeFrame(f, recv)
+		return decodeFrame(f, recv, ref)
 	})
 	t.bufs.Put(buf)
 	if err != nil {
@@ -184,14 +187,19 @@ func (t *Socket) Send(round, from int, payload *param.Set, pool *param.Buffers) 
 	}
 	t.messages.Add(1)
 	t.bytes.Add(n)
+	t.rawBytes.Add(wire)
 	t.chunks.Add(1)
 	return recv, nil
 }
 
-// OpenBroadcast implements Transport: upload the encoded source once;
-// every Deliver downloads and decodes it.
+// OpenBroadcast implements Transport: upload the encoded source once
+// (coded absolute — receivers have no reference yet); every Deliver
+// downloads and decodes it. In compressed mode the source also becomes
+// the round's delta reference for uploads until Close; the reference
+// never crosses the socket, so a server restart or relay cannot
+// desynchronize it.
 func (t *Socket) OpenBroadcast(round int, src *param.Set) (Broadcast, error) {
-	buf, n := t.encode(src)
+	buf, n := t.encode(src, nil)
 	var id uint32
 	err := t.cl.RoundTrip(rpc.MsgBcastOpen, uint32(round), 0, buf.Bytes(), func(f *rpc.Frame) error {
 		if f.Type != rpc.MsgBcastOpened {
@@ -204,7 +212,8 @@ func (t *Socket) OpenBroadcast(round int, src *param.Set) (Broadcast, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: socket broadcast open: %w", err)
 	}
-	return &socketBroadcast{t: t, round: uint32(round), id: id, n: n}, nil
+	t.setRef(round, src)
+	return &socketBroadcast{t: t, round: uint32(round), id: id, n: n, wire: int64(src.WireBytes())}, nil
 }
 
 type socketBroadcast struct {
@@ -212,6 +221,7 @@ type socketBroadcast struct {
 	round uint32
 	id    uint32
 	n     int64
+	wire  int64
 }
 
 // Deliver downloads the stored broadcast payload into dst. Concurrent
@@ -223,13 +233,14 @@ func (b *socketBroadcast) Deliver(_ int, dst *param.Set) error {
 		if f.Type != rpc.MsgBcastData {
 			return fmt.Errorf("unexpected response type %d to broadcast get", f.Type)
 		}
-		return decodeFrame(f, dst)
+		return decodeFrame(f, dst, nil)
 	})
 	if err != nil {
 		return fmt.Errorf("transport: socket broadcast deliver: %w", err)
 	}
 	b.t.bMessages.Add(1)
 	b.t.bBytes.Add(b.n)
+	b.t.rawBBytes.Add(b.wire)
 	b.t.chunks.Add(1)
 	return nil
 }
@@ -238,6 +249,7 @@ func (b *socketBroadcast) Deliver(_ int, dst *param.Set) error {
 // (server unreachable) is tolerated silently: the server's bounded
 // broadcast store evicts the orphaned entry on its own.
 func (b *socketBroadcast) Close() {
+	b.t.clearRef()
 	b.t.cl.RoundTrip(rpc.MsgBcastClose, b.round, b.id, nil, func(f *rpc.Frame) error {
 		if f.Type != rpc.MsgBcastClosed {
 			return fmt.Errorf("unexpected response type %d to broadcast close", f.Type)

@@ -62,10 +62,23 @@
 // downloads/decodes, mirroring a real server that serializes the
 // global model once per round and fans the bytes out.
 //
-// Determinism: implementations must be value-transparent (the received
-// set is bit-identical to the sent one — float64 survives the codec
-// exactly) and safe for concurrent use; traffic counters are atomic
-// sums, so totals are independent of worker interleaving. A transport
+// Determinism: with compression off (the default), implementations
+// must be value-transparent — the received set is bit-identical to the
+// sent one, float64 survives the codec exactly. With an
+// Options.Compression level set, every backend instead pushes each
+// payload through the sparse+quantized CPQ1 codec (param.Set.
+// WriteCompressedTo / DecodeFromRef): the received values differ from
+// the sent ones by at most the codec's documented error bound
+// (param.Compression.MaxError), but deterministically so — the same
+// payload always decodes to the same values, on every backend (Inproc
+// applies the same encode→decode round-trip the serializing backends
+// do), so compressed runs are still byte-identical across backends and
+// worker counts. Uploads sent while the round's broadcast is open are
+// delta-coded against the broadcast source; compressed payloads must
+// be finite and within the codec's ±1e300 range (a violation panics,
+// like any other codec bug). All implementations must be safe for
+// concurrent use; traffic counters are atomic sums, so totals are
+// independent of worker interleaving. A transport
 // must not source free-running randomness or reorder messages:
 // delivery order stays the simulators' responsibility, and the Faulty
 // wrapper draws every fault decision from counter-based streams keyed
@@ -115,6 +128,13 @@ type Stats struct {
 	// BroadcastMessages for unchunked backends, including socket, whose
 	// RPC frames each carry a whole payload).
 	Chunks int64
+	// RawBytes and RawBroadcastBytes are the dense-codec sizes of the
+	// same traffic (param.Set.WireBytes summed per transfer): what the
+	// payloads would have cost without compression. With compression
+	// off they equal Bytes/BroadcastBytes exactly; with it on, the
+	// Bytes/RawBytes ratio is the measured wire saving.
+	RawBytes          int64
+	RawBroadcastBytes int64
 	// RoundTrips counts completed RPC request/response exchanges and
 	// Reconnects counts pooled connections replaced by a fresh dial
 	// mid-call. Both stay 0 on the in-process backends.
@@ -139,6 +159,12 @@ type Transport interface {
 	// Name identifies the backend ("inproc", "wire", "socket",
 	// "faulty:wire", ...).
 	Name() string
+
+	// Compression reports the payload codec the instance was built
+	// with: the zero value is the dense float64 codec (the tolerance-0
+	// golden reference), 8 or 16 bits selects the sparse+quantized
+	// CPQ1 codec for every transfer. Fixed for the instance's lifetime.
+	Compression() param.Compression
 
 	// Send transmits a point-to-point payload from the given
 	// participant in the given round, returning the set the receiver
@@ -181,9 +207,10 @@ type Broadcast interface {
 
 // counters is the shared atomic accounting embedded by every backend.
 type counters struct {
-	messages, bytes   atomic.Int64
-	bMessages, bBytes atomic.Int64
-	chunks            atomic.Int64
+	messages, bytes     atomic.Int64
+	bMessages, bBytes   atomic.Int64
+	chunks              atomic.Int64
+	rawBytes, rawBBytes atomic.Int64
 }
 
 func (c *counters) Stats() Stats {
@@ -193,6 +220,8 @@ func (c *counters) Stats() Stats {
 		BroadcastMessages: c.bMessages.Load(),
 		BroadcastBytes:    c.bBytes.Load(),
 		Chunks:            c.chunks.Load(),
+		RawBytes:          c.rawBytes.Load(),
+		RawBroadcastBytes: c.rawBBytes.Load(),
 	}
 }
 
@@ -207,6 +236,12 @@ type Options struct {
 	// rpc.DefaultRetryPolicy). Ignored by the in-memory backends,
 	// which cannot fail.
 	Retry *RetryPolicy
+	// Compression selects the payload codec for every backend: the
+	// zero value keeps the dense float64 codec, 8 or 16 bits switches
+	// all transfers to the sparse+quantized CPQ1 codec. Inproc applies
+	// the same encode→decode round-trip the serializing backends do,
+	// so a compressed run computes identical values on every backend.
+	Compression param.Compression
 }
 
 func (o Options) retry() rpc.RetryPolicy {
@@ -259,20 +294,29 @@ func New(name string) (Transport, error) {
 
 // NewOptions is New with explicit resilience options.
 func NewOptions(name string, o Options) (Transport, error) {
+	if err := o.Compression.Validate(); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
 	inner, wrap := strings.CutPrefix(name, FaultyPrefix)
 	var t Transport
 	var err error
 	switch inner {
 	case "", "inproc":
-		t = NewInproc()
+		ip := NewInproc()
+		ip.comp = o.Compression
+		t = ip
 	case "wire":
-		t = NewWire()
+		w := NewWire()
+		w.comp = o.Compression
+		t = w
 	case "wire-chunked":
-		t = NewChunkedWire(DefaultChunkBytes)
+		w := NewChunkedWire(DefaultChunkBytes)
+		w.comp = o.Compression
+		t = w
 	case "socket":
-		t, err = newLoopbackSocket("unix", o.retry())
+		t, err = newLoopbackSocket("unix", o.retry(), o.Compression)
 	case "socket-tcp":
-		t, err = newLoopbackSocket("tcp", o.retry())
+		t, err = newLoopbackSocket("tcp", o.retry(), o.Compression)
 	default:
 		return nil, fmt.Errorf("transport: unknown backend %q (have %v, optionally behind %q)",
 			name, Names(), FaultyPrefix)
@@ -294,14 +338,17 @@ func Dial(name, addr string) (Transport, error) {
 
 // DialOptions is Dial with explicit resilience options.
 func DialOptions(name, addr string, o Options) (Transport, error) {
+	if err := o.Compression.Validate(); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
 	inner, wrap := strings.CutPrefix(name, FaultyPrefix)
 	var t Transport
 	var err error
 	switch inner {
 	case "socket":
-		t, err = dialSocket("unix", addr, o.retry())
+		t, err = dialSocket("unix", addr, o.retry(), o.Compression)
 	case "socket-tcp":
-		t, err = dialSocket("tcp", addr, o.retry())
+		t, err = dialSocket("tcp", addr, o.retry(), o.Compression)
 	default:
 		return nil, fmt.Errorf("transport: backend %q cannot dial an address (want socket or socket-tcp)", name)
 	}

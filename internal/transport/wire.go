@@ -30,6 +30,7 @@ const DefaultChunkBytes = 4096
 // by the simulators' LossProb/DropoutProb, never by this backend.
 type Wire struct {
 	counters
+	compressor
 	chunkBytes int
 	bufs       sync.Pool // *bytes.Buffer
 }
@@ -69,21 +70,17 @@ func (t *Wire) getBuf() *bytes.Buffer {
 }
 
 // encode marshals s into a pooled buffer and returns it with the
-// encoded length.
-func (t *Wire) encode(s *param.Set) (*bytes.Buffer, int64) {
+// encoded length (delta-coded against ref in compressed mode).
+func (t *Wire) encode(s, ref *param.Set) (*bytes.Buffer, int64) {
 	buf := t.getBuf()
-	n, err := s.WriteTo(buf)
-	if err != nil {
-		panic(fmt.Sprintf("transport: wire encode: %v", err))
-	}
-	return buf, n
+	return buf, t.encodeSet(buf, s, ref)
 }
 
 // decode unmarshals an encoded stream into dst, which must have the
-// encoded structure.
-func (t *Wire) decode(data []byte, dst *param.Set) {
+// encoded structure (and the encoder's ref in compressed delta mode).
+func (t *Wire) decode(data []byte, dst, ref *param.Set) {
 	r := chunkReader{data: data, chunk: t.chunkBytes}
-	if _, err := dst.DecodeFrom(&r); err != nil {
+	if _, err := dst.DecodeFromRef(&r, ref); err != nil {
 		panic(fmt.Sprintf("transport: wire decode: %v", err))
 	}
 }
@@ -98,8 +95,10 @@ func (t *Wire) frames(n int64) int64 {
 
 // Send implements Transport: marshal, recycle the sender's set, and
 // unmarshal into a pool-recycled set of the same structure.
-func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) (*param.Set, error) {
-	buf, n := t.encode(payload)
+func (t *Wire) Send(round, _ int, payload *param.Set, pool *param.Buffers) (*param.Set, error) {
+	ref := t.sendRef(round)
+	wire := int64(payload.WireBytes())
+	buf, n := t.encode(payload, ref)
 	recv := pool.GetShaped(payload)
 	if recv == nil {
 		// Pool cold (first rounds): clone the payload for its structure;
@@ -107,38 +106,45 @@ func (t *Wire) Send(_, _ int, payload *param.Set, pool *param.Buffers) (*param.S
 		recv = payload.Clone()
 	}
 	pool.Put(payload)
-	t.decode(buf.Bytes(), recv)
+	t.decode(buf.Bytes(), recv, ref)
 	t.bufs.Put(buf)
 	t.messages.Add(1)
 	t.bytes.Add(n)
+	t.rawBytes.Add(wire)
 	t.chunks.Add(t.frames(n))
 	return recv, nil
 }
 
-// OpenBroadcast implements Transport: encode src once; every Deliver
-// decodes the shared bytes into its receiver's set.
-func (t *Wire) OpenBroadcast(_ int, src *param.Set) (Broadcast, error) {
-	buf, n := t.encode(src)
-	return &wireBroadcast{t: t, buf: buf, n: n}, nil
+// OpenBroadcast implements Transport: encode src once (coded absolute
+// — receivers have no reference yet); every Deliver decodes the shared
+// bytes into its receiver's set. In compressed mode the source also
+// becomes the round's delta reference for uploads until Close.
+func (t *Wire) OpenBroadcast(round int, src *param.Set) (Broadcast, error) {
+	buf, n := t.encode(src, nil)
+	t.setRef(round, src)
+	return &wireBroadcast{t: t, buf: buf, n: n, wire: int64(src.WireBytes())}, nil
 }
 
 type wireBroadcast struct {
-	t   *Wire
-	buf *bytes.Buffer
-	n   int64
+	t    *Wire
+	buf  *bytes.Buffer
+	n    int64
+	wire int64
 }
 
 // Deliver decodes the broadcast bytes into dst. Concurrent Delivers
 // share the read-only encoded buffer through per-call readers.
 func (b *wireBroadcast) Deliver(_ int, dst *param.Set) error {
-	b.t.decode(b.buf.Bytes(), dst)
+	b.t.decode(b.buf.Bytes(), dst, nil)
 	b.t.bMessages.Add(1)
 	b.t.bBytes.Add(b.n)
+	b.t.rawBBytes.Add(b.wire)
 	b.t.chunks.Add(b.t.frames(b.n))
 	return nil
 }
 
 func (b *wireBroadcast) Close() {
+	b.t.clearRef()
 	b.t.bufs.Put(b.buf)
 	b.buf = nil
 }

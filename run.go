@@ -10,6 +10,7 @@ import (
 	"github.com/collablearn/ciarec/internal/experiments"
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
+	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
 
@@ -124,6 +125,14 @@ type RunConfig struct {
 	// "attempts=6,backoff=5ms,timeout=2s". Empty keeps the defaults
 	// (4 attempts, capped jittered exponential backoff, 30s deadline).
 	Retry string
+	// Compression selects the wire codec for every parameter transfer:
+	// "" or "off" keeps the lossless dense codec, "8" / "8bit" and
+	// "16" / "16bit" run uploads and broadcasts through the
+	// sparse+quantized delta codec at that bit width (see
+	// internal/param). Compressed runs stay deterministic across
+	// backends and worker counts but are quantized, so they are not
+	// byte-identical to uncompressed runs.
+	Compression string
 	// StragglerDeadline is the FL server's per-round upload deadline:
 	// uploads whose fault-plan latency exceeds it are observed by the
 	// adversary but excluded from aggregation. 0 disables. Ignored
@@ -233,6 +242,9 @@ func (c *RunConfig) spec() experiments.Spec {
 			s.Retry = &rp
 		}
 	}
+	if comp, err := param.ParseCompression(c.Compression); err == nil {
+		s.Compression = comp
+	}
 	s.StragglerDeadline = c.StragglerDeadline
 	s.Quorum = c.Quorum
 	return s
@@ -288,6 +300,9 @@ func (c *RunConfig) normalize() error {
 	}
 	if _, err := transport.ParseRetryPolicy(c.Retry); err != nil {
 		return fmt.Errorf("ciarec: Retry: %w", err)
+	}
+	if _, err := param.ParseCompression(c.Compression); err != nil {
+		return fmt.Errorf("ciarec: Compression: %w", err)
 	}
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("ciarec: Quorum %v out of [0,1]", c.Quorum)
