@@ -7,6 +7,8 @@
 //	ciabench -exp all               # every table and figure
 //	ciabench -exp fig5 -seed 7      # different seed
 //	ciabench -exp table2 -paper     # full paper-scale sizes (slow)
+//	ciabench -scenario churn-byz    # run a declarative scenario preset
+//	ciabench -scenario run.json     # ... or one decoded from a JSON file
 //	ciabench -list                  # enumerate experiment ids
 package main
 
@@ -18,7 +20,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/experiments"
+	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -173,6 +177,46 @@ var runners = map[string]runner{
 		}
 		return experiments.RenderSparsifyStudy(rows), nil
 	},
+	"compress-ratio": func(spec experiments.Spec) (string, error) {
+		rows, err := experiments.RunCompressionRatio(spec, nil, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderCompressionRatio(rows), nil
+	},
+}
+
+// runScenarioFile loads a scenario — a preset name or a JSON file —
+// and executes it. Decode/validation errors name the offending field.
+func runScenarioFile(path string) (string, error) {
+	sc, ok := experiments.ScenarioPreset(path)
+	if !ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		sc, err = experiments.DecodeScenario(f)
+		if err != nil {
+			return "", err
+		}
+	}
+	res, err := experiments.RunScenario(sc)
+	if err != nil {
+		return "", err
+	}
+	return experiments.RenderScenario(sc, res), nil
+}
+
+// scenarioNames lists the built-in scenario presets for -scenario's
+// usage string.
+func scenarioNames() string {
+	presets := experiments.ScenarioPresets()
+	names := make([]string, len(presets))
+	for i, sc := range presets {
+		names[i] = sc.Name
+	}
+	return strings.Join(names, " | ")
 }
 
 func experimentIDs() []string {
@@ -197,12 +241,29 @@ func main() {
 		comp   = flag.String("compress", "", "wire compression for every parameter transfer: 'off' (default, lossless dense codec) or '8'/'16' for the sparse+quantized delta codec at that bit width")
 		quorum = flag.Float64("quorum", 0, "minimum fraction of sampled clients whose uploads must arrive in time for an FL round to aggregate; below it the round keeps the previous global model (0 disables)")
 		sdl    = flag.Duration("straggler-deadline", 0, "FL per-round upload deadline: uploads whose fault-plan latency exceeds it are observed by the adversary but excluded from aggregation (0 disables)")
+		churn  = flag.String("churn", "", "deterministic participant-churn spec, e.g. 'seed=5,initial=0.8,leave=0.25,join=0.5,stale-bound=2' or 'default'; memberships grow and shrink round over round, rejoiners resume from their stale snapshot")
+		byz    = flag.String("byz", "", "Byzantine adversary spec, e.g. 'kind=sign-flip,frac=0.1,seed=1' or 'default'; kinds: sign-flip, scaled-noise, collude")
+		agg    = flag.String("agg", "", "FL aggregation rule: fedavg (default), median, trimmed-mean or norm-clip")
+		trim   = flag.Float64("trim", 0, "trimmed-mean per-end trim fraction in [0, 0.5) (0 keeps the default 0.1)")
+		clip   = flag.Float64("clip", 0, "norm-clip per-upload L2 bound (required with -agg norm-clip)")
+		scen   = flag.String("scenario", "", "run one declarative scenario instead of -exp: a JSON file or a preset name ("+scenarioNames()+"); all other knob flags are ignored")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experimentIDs(), "\n"))
+		return
+	}
+	if *scen != "" {
+		start := time.Now()
+		out, err := runScenarioFile(*scen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -scenario: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		fmt.Printf("[scenario completed in %.1fs]\n", time.Since(start).Seconds())
 		return
 	}
 	spec := experiments.BenchSpec()
@@ -252,6 +313,38 @@ func main() {
 	}
 	spec.Quorum = *quorum
 	spec.StragglerDeadline = *sdl
+	if *churn != "" {
+		plan, err := transport.ParseChurnPlan(*churn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -churn: %v\n", err)
+			os.Exit(2)
+		}
+		spec.ChurnPlan = &plan
+	}
+	if *byz != "" {
+		adv, err := attack.ParseByzantine(*byz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -byz: %v\n", err)
+			os.Exit(2)
+		}
+		spec.Byzantine = &adv
+	}
+	aggregator, err := fed.ParseAggregator(*agg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciabench: -agg: %v\n", err)
+		os.Exit(2)
+	}
+	spec.Aggregator = aggregator
+	if *trim < 0 || *trim >= 0.5 {
+		fmt.Fprintf(os.Stderr, "ciabench: -trim %v out of [0, 0.5)\n", *trim)
+		os.Exit(2)
+	}
+	spec.TrimFraction = *trim
+	if *clip < 0 {
+		fmt.Fprintf(os.Stderr, "ciabench: -clip %v is negative\n", *clip)
+		os.Exit(2)
+	}
+	spec.ClipNorm = *clip
 
 	ids := experimentIDs()
 	if *exp != "all" {

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestCompressionRatioSmoke runs a reduced bits × keep grid and sanity
+// checks the cells: the compressing cells must actually shrink the
+// wire, every accuracy is a probability, and every run learned.
+func TestCompressionRatioSmoke(t *testing.T) {
+	spec := BenchSpec()
+	spec.Rounds = 4
+	spec.Workers = 2
+	rows, err := RunCompressionRatio(spec, []int{0, 8}, []float64{1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Bits == 0 && r.Keep == 1 && r.Ratio != 1 {
+			t.Errorf("uncompressed full-update cell reports ratio %.2fx, want 1x", r.Ratio)
+		}
+		if r.Bits == 8 && r.Ratio <= 1.5 {
+			t.Errorf("8-bit cell (keep %.1f) compressed only %.2fx", r.Keep, r.Ratio)
+		}
+		probs := []struct {
+			name string
+			v    float64
+		}{
+			{"CIA", r.CIAMaxAAC}, {"MIA", r.MIAMaxAAC}, {"AIA", r.AIAMaxAAC}, {"random", r.Random},
+		}
+		for _, p := range probs {
+			if p.v < 0 || p.v > 1 {
+				t.Errorf("cell bits=%d keep=%.1f: %s accuracy %.3f outside [0,1]", r.Bits, r.Keep, p.name, p.v)
+			}
+		}
+		if r.Utility <= 0 {
+			t.Errorf("cell bits=%d keep=%.1f recorded no utility", r.Bits, r.Keep)
+		}
+		// 4 rounds is far too short for the attacks to converge; the
+		// smoke check only demands each one actually scored uploads.
+		if r.CIAMaxAAC <= 0 || r.MIAMaxAAC <= 0 {
+			t.Errorf("cell bits=%d keep=%.1f: CIA %.3f / MIA %.3f — an attack observed nothing",
+				r.Bits, r.Keep, r.CIAMaxAAC, r.MIAMaxAAC)
+		}
+	}
+	out := RenderCompressionRatio(rows)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

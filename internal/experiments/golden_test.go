@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/model"
@@ -180,6 +181,110 @@ func goldenFaultyFedRun(t *testing.T, backend string) string {
 	return hashRun([]*param.Set{sim.Global().Params()}, append(hr, counts...))
 }
 
+// goldenRobustFedRun executes the reference federated workload with a
+// caller-tweaked config (churn plan, Byzantine population, robust
+// aggregator) and digests the surviving model, the utility curve and
+// the churn/Byzantine accounting. check rejects a run too tame to pin
+// anything (no leaves, no corrupted uploads, …).
+func goldenRobustFedRun(t *testing.T, backend string, tweak func(*fed.Config), check func(fed.Resilience) string) string {
+	t.Helper()
+	tr, err := transport.New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	spec := BenchSpec()
+	spec.Workers = 2
+	d, err := MakeDataset("movielens", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SplitFor("gmf", d)
+	var hr []float64
+	cfg := fed.Config{
+		Dataset:   d,
+		Factory:   model.NewGMFFactory(d.NumUsers, d.NumItems, spec.Dim),
+		Rounds:    4,
+		Train:     model.TrainOptions{Epochs: 1},
+		Workers:   spec.Workers,
+		Transport: tr,
+		OnRound: func(round int, s *fed.Simulation) {
+			hr = append(hr, s.UtilityHR(spec.HRK, 20))
+		},
+		Seed: 7,
+	}
+	tweak(&cfg)
+	sim, err := fed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	r := sim.Resilience()
+	if msg := check(r); msg != "" {
+		t.Fatal(msg)
+	}
+	counts := []float64{
+		float64(r.Joins), float64(r.Leaves), float64(r.Rejoins),
+		float64(r.ByzantineUploads), float64(r.ClippedUploads),
+	}
+	return hashRun([]*param.Set{sim.Global().Params()}, append(hr, counts...))
+}
+
+// goldenChurnFedRun pins the PR's acceptance scenario: heavy
+// deterministic churn (≥20% round-over-round turnover; see
+// TestResilienceScenarioTurnover), a 10% sign-flip Byzantine
+// population and trimmed-mean aggregation.
+func goldenChurnFedRun(t *testing.T, backend string) string {
+	t.Helper()
+	churn := transport.ChurnPlan{Seed: 5, InitialFraction: 0.8, LeaveProb: 0.25, JoinProb: 0.5, StaleBound: 2}
+	byz := attack.Byzantine{Kind: attack.ByzSignFlip, Fraction: 0.1, Seed: 1}
+	return goldenRobustFedRun(t, backend, func(c *fed.Config) {
+		c.ChurnPlan = &churn
+		c.Byzantine = &byz
+		c.Aggregator = fed.AggTrimmedMean
+		c.TrimFraction = 0.2
+	}, func(r fed.Resilience) string {
+		if r.Joins == 0 || r.Leaves == 0 || r.Rejoins == 0 || r.ByzantineUploads == 0 {
+			return fmt.Sprintf("golden churn scenario failed to exercise every membership path: %+v", r)
+		}
+		return ""
+	})
+}
+
+// goldenByzMedianFedRun pins scaled-noise adversaries against the
+// coordinate-wise median.
+func goldenByzMedianFedRun(t *testing.T, backend string) string {
+	t.Helper()
+	byz := attack.Byzantine{Kind: attack.ByzScaledNoise, Fraction: 0.2, Scale: 2, Seed: 2}
+	return goldenRobustFedRun(t, backend, func(c *fed.Config) {
+		c.Byzantine = &byz
+		c.Aggregator = fed.AggMedian
+	}, func(r fed.Resilience) string {
+		if r.ByzantineUploads == 0 {
+			return fmt.Sprintf("golden median scenario corrupted nothing: %+v", r)
+		}
+		return ""
+	})
+}
+
+// goldenByzClipFedRun pins sign-flip adversaries against norm
+// clipping; the bound is chosen below the honest delta norms so the
+// hash also covers the clip accounting.
+func goldenByzClipFedRun(t *testing.T, backend string) string {
+	t.Helper()
+	byz := attack.Byzantine{Kind: attack.ByzSignFlip, Fraction: 0.2, Seed: 3}
+	return goldenRobustFedRun(t, backend, func(c *fed.Config) {
+		c.Byzantine = &byz
+		c.Aggregator = fed.AggNormClip
+		c.ClipNorm = 0.5
+	}, func(r fed.Resilience) string {
+		if r.ByzantineUploads == 0 || r.ClippedUploads == 0 {
+			return fmt.Sprintf("golden norm-clip scenario clipped nothing: %+v", r)
+		}
+		return ""
+	})
+}
+
 // goldenGossipRun executes the reference gossip workload on the given
 // transport backend and digests every node's model plus the F1 curve.
 func goldenGossipRun(t *testing.T, backend string) string {
@@ -241,6 +346,9 @@ func TestGoldenDeterminism(t *testing.T) {
 		hashes["fed-gmf-faulty/"+backend] = goldenFaultyFedRun(t, backend)
 		hashes["fed-gmf-compressed8/"+backend] = goldenCompressedFedRun(t, backend, 8)
 		hashes["fed-gmf-compressed16/"+backend] = goldenCompressedFedRun(t, backend, 16)
+		hashes["fed-gmf-churn/"+backend] = goldenChurnFedRun(t, backend)
+		hashes["fed-gmf-byz-median/"+backend] = goldenByzMedianFedRun(t, backend)
+		hashes["fed-gmf-byz-clip/"+backend] = goldenByzClipFedRun(t, backend)
 	}
 	// The transport backends must agree with each other regardless of
 	// what the golden file says (this half runs on every architecture).
@@ -251,6 +359,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	for _, workload := range []string{
 		"fed-gmf", "gossip-prme", "fed-gmf-faulty",
 		"fed-gmf-compressed8", "fed-gmf-compressed16",
+		"fed-gmf-churn", "fed-gmf-byz-median", "fed-gmf-byz-clip",
 	} {
 		for _, backend := range []string{"wire", "socket"} {
 			if hashes[workload+"/inproc"] != hashes[workload+"/"+backend] {

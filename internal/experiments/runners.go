@@ -38,6 +38,10 @@ type RunResult struct {
 	// round-trips), so wire vs socket overhead is visible per run.
 	TransportName string
 	Traffic       transport.Stats
+	// Resilience summarizes the run's non-zero fault, churn and
+	// Byzantine counters as key=value pairs (fed.Resilience.String /
+	// gossip.Resilience.String; "" for an uneventful run).
+	Resilience string
 }
 
 // newTransport builds the transport a run's spec asks for: a loopback
@@ -163,6 +167,11 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		StragglerDeadline: o.Spec.StragglerDeadline,
 		Quorum:            o.Spec.Quorum,
 		Compression:       o.Spec.Compression,
+		ChurnPlan:         o.Spec.ChurnPlan,
+		Byzantine:         o.Spec.Byzantine,
+		Aggregator:        o.Spec.Aggregator,
+		TrimFraction:      o.Spec.TrimFraction,
+		ClipNorm:          o.Spec.ClipNorm,
 		Observer:          obs,
 		// Utility sweeps run on the simulator's deterministic parallel
 		// evaluation engine (Spec.Workers, per-(seed, round, user)
@@ -194,7 +203,11 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 	}
 	upper /= float64(len(truths))
 	res := obs.rec.Summarize(evalx.RandomBound(k, o.Data.NumUsers), upper)
-	return RunResult{Attack: res, Utility: utility, TransportName: tr.Name(), Traffic: tr.Stats()}, nil
+	return RunResult{
+		Attack: res, Utility: utility,
+		TransportName: tr.Name(), Traffic: tr.Stats(),
+		Resilience: sim.Resilience().String(),
+	}, nil
 }
 
 // flObserver adapts the CIA instance to the fed.Observer interface:
@@ -336,6 +349,8 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		Transport:   tr,
 		FaultPlan:   effectivePlan(o.Spec),
 		Compression: o.Spec.Compression,
+		ChurnPlan:   o.Spec.ChurnPlan,
+		Byzantine:   o.Spec.Byzantine,
 		Observer:    obs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {
@@ -354,7 +369,11 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 	sim.Run()
 
 	res := obs.rec.Summarize(evalx.RandomBound(k, n), obs.meanUpperBound())
-	return RunResult{Attack: res, Utility: utility, TransportName: tr.Name(), Traffic: tr.Stats()}, nil
+	return RunResult{
+		Attack: res, Utility: utility,
+		TransportName: tr.Name(), Traffic: tr.Stats(),
+		Resilience: sim.Resilience().String(),
+	}, nil
 }
 
 // targetView exposes a single target of a shared multi-target

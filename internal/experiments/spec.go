@@ -15,7 +15,9 @@ import (
 	"math"
 	"time"
 
+	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/dataset"
+	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/model"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
@@ -101,6 +103,22 @@ type Spec struct {
 	// aggregation (see fed.Config). Zero values disable both.
 	StragglerDeadline time.Duration
 	Quorum            float64
+	// ChurnPlan, when non-nil, drives deterministic participant churn
+	// in both protocol simulators: memberships grow and shrink round
+	// over round, rejoining participants resume from their stale
+	// snapshot (see fed.Config.ChurnPlan / gossip.Config.ChurnPlan).
+	ChurnPlan *transport.ChurnPlan
+	// Byzantine, when non-nil, turns a deterministic pseudo-random
+	// fraction of participants into model-poisoning adversaries (see
+	// attack.Byzantine).
+	Byzantine *attack.Byzantine
+	// Aggregator selects the FL server's aggregation rule (zero value:
+	// classic FedAvg; see fed.Aggregator for the robust rules).
+	// TrimFraction and ClipNorm parameterize the trimmed-mean and
+	// norm-clip rules. Gossip runs ignore all three.
+	Aggregator   fed.Aggregator
+	TrimFraction float64
+	ClipNorm     float64
 	// Seed drives all generation and training.
 	Seed uint64
 }

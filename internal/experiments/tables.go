@@ -30,6 +30,10 @@ type AttackRow struct {
 	// wire vs socket cost is visible next to the attack numbers.
 	Transport string
 	Traffic   transport.Stats
+	// Resilience is the run's non-zero fault/churn/Byzantine counter
+	// summary (RunResult.Resilience); RenderRows appends a resilience
+	// table when any row carries one.
+	Resilience string
 }
 
 func (r AttackRow) String() string {
@@ -48,6 +52,33 @@ func RenderRows(title string, rows []AttackRow) string {
 		fmt.Fprintln(&b, r.String())
 	}
 	b.WriteString(renderTraffic(rows))
+	b.WriteString(renderResilience(rows))
+	return b.String()
+}
+
+// renderResilience formats the per-run fault, churn and Byzantine
+// accounting of rows that recorded a non-zero counter: one line per
+// eventful run, the counters as key=value pairs. Uneventful runs (and
+// tables without any resilience activity) print nothing.
+func renderResilience(rows []AttackRow) string {
+	any := false
+	for _, r := range rows {
+		if r.Resilience != "" {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("-- resilience counters per run --\n")
+	for _, r := range rows {
+		if r.Resilience == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %-22s %s\n", r.Dataset, r.Model, r.Setting, r.Resilience)
+	}
 	return b.String()
 }
 
@@ -144,7 +175,7 @@ func RunTable2(spec Spec) ([]AttackRow, error) {
 		}
 		rows[i] = AttackRow{
 			Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack,
-			Transport: res.TransportName, Traffic: res.Traffic,
+			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience,
 		}
 		return nil
 	})
@@ -187,7 +218,7 @@ func RunTable3(spec Spec) ([]AttackRow, error) {
 		}
 		rows[i] = AttackRow{
 			Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack,
-			Transport: res.TransportName, Traffic: res.Traffic,
+			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience,
 		}
 		return nil
 	})

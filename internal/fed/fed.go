@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/mathx"
@@ -138,6 +140,35 @@ type Config struct {
 	// set of arrivals aggregates, the pre-resilience behaviour.
 	Quorum float64
 
+	// ChurnPlan drives deterministic participant churn: each round,
+	// present clients leave and absent ones (re)join as pure functions
+	// of (plan seed, round, client), so membership can grow and shrink
+	// mid-run without consuming any simulator RNG. An absent client's
+	// state (its RNG, private rows and last-received snapshot) is
+	// frozen; a rejoiner resumes from that stale snapshot — it
+	// downloads the current global model like everyone else, but its
+	// never-shared private rows are as old as its departure. nil (or a
+	// disabled plan) is byte-identical to no churn at all.
+	ChurnPlan *transport.ChurnPlan
+	// Byzantine, when non-nil with Fraction > 0, turns a deterministic
+	// subset of clients into active adversaries that corrupt every
+	// upload they send (sign-flip, scaled noise or collusion echo; see
+	// attack.Byzantine). Corruption happens after the defense policy
+	// builds the outgoing payload — the adversary ignores the policy's
+	// honesty, not its entry selection — and before the transport, so
+	// the server-side Observer sees the corrupted traffic exactly as a
+	// real adversary would send it.
+	Byzantine *attack.Byzantine
+	// Aggregator selects the server's aggregation rule (the zero value
+	// is classic FedAvg; see Aggregator for the robust rules).
+	Aggregator Aggregator
+	// TrimFraction is AggTrimmedMean's per-end trim, in [0, 0.5).
+	// 0 means the default, 0.1.
+	TrimFraction float64
+	// ClipNorm is AggNormClip's per-upload L2 bound (required > 0 when
+	// that aggregator is selected).
+	ClipNorm float64
+
 	// Observer optionally receives all uploads (the adversary hook).
 	Observer Observer
 	// OnRound is called after every round with the live simulation,
@@ -171,6 +202,27 @@ func (c *Config) validate() error {
 	}
 	if err := c.Compression.Validate(); err != nil {
 		return fmt.Errorf("fed: %w", err)
+	}
+	switch c.Aggregator {
+	case AggFedAvg, AggMedian, AggTrimmedMean, AggNormClip:
+	default:
+		return fmt.Errorf("fed: Config.Aggregator %d unknown", int(c.Aggregator))
+	}
+	if c.TrimFraction < 0 || c.TrimFraction >= 0.5 {
+		return fmt.Errorf("fed: Config.TrimFraction %v out of [0, 0.5)", c.TrimFraction)
+	}
+	if c.Aggregator == AggNormClip && c.ClipNorm <= 0 {
+		return fmt.Errorf("fed: Config.ClipNorm must be positive for the norm-clip aggregator, got %v", c.ClipNorm)
+	}
+	if c.ChurnPlan != nil {
+		if err := c.ChurnPlan.Validate(); err != nil {
+			return fmt.Errorf("fed: %w", err)
+		}
+	}
+	if c.Byzantine != nil {
+		if err := c.Byzantine.Validate(); err != nil {
+			return fmt.Errorf("fed: %w", err)
+		}
 	}
 	if c.Transport != nil {
 		if tc := c.Transport.Compression(); c.Compression.Enabled() && tc != c.Compression {
@@ -223,10 +275,11 @@ type Simulation struct {
 
 	// Sharded-reduce state: one accumulator region per entry (offsets
 	// into aggBuf), a reusable chunk work-list and normalized weights.
-	aggBuf    []float64
-	aggOff    []int
-	aggChunks []aggChunk
-	aggW      []float64
+	aggBuf     []float64
+	aggOff     []int
+	aggChunks  []aggChunk
+	aggW       []float64
+	aggFactors []float64 // per-upload norm-clip scales
 
 	// Utility-evaluation state: the deterministic parallel engine plus,
 	// per worker, the user whose private rows are currently installed in
@@ -234,14 +287,22 @@ type Simulation struct {
 	eval     *model.Eval
 	evalPrev []int
 
-	// Resilience accounting. deliverFailures and uploadFailures are
-	// incremented from worker goroutines (atomic); the rest only from
-	// the sequential round phase.
-	deliverFailures atomic.Int64
-	uploadFailures  atomic.Int64
-	stragglers      int64
-	quorumMisses    int64
-	blackoutRounds  int64
+	// Churn membership fold (nil when no ChurnPlan is active) and the
+	// reusable present-id scratch.
+	membership *transport.Membership
+	presentIDs []int
+
+	// Resilience accounting. deliverFailures, uploadFailures and
+	// byzantineUploads are incremented from worker goroutines (atomic);
+	// the rest only from the sequential round phase (the streaming
+	// folder's clip count is merged after its goroutine drains).
+	deliverFailures  atomic.Int64
+	uploadFailures   atomic.Int64
+	byzantineUploads atomic.Int64
+	stragglers       int64
+	quorumMisses     int64
+	blackoutRounds   int64
+	clippedUploads   int64
 }
 
 // Resilience is the simulation's accumulated fault accounting.
@@ -261,17 +322,64 @@ type Resilience struct {
 	// QuorumMisses counts rounds whose timely arrivals fell below
 	// Quorum, keeping the previous global model.
 	QuorumMisses int64
+	// Joins, Leaves and Rejoins are the ChurnPlan membership
+	// transitions (a rejoin — a client returning after participating
+	// before — is also counted as a join).
+	Joins   int64
+	Leaves  int64
+	Rejoins int64
+	// ByzantineUploads counts uploads corrupted by the Byzantine
+	// adversary population before sending.
+	ByzantineUploads int64
+	// ClippedUploads counts uploads whose delta the norm-clip
+	// aggregator scaled down to ClipNorm.
+	ClippedUploads int64
 }
 
 // Resilience returns the accumulated fault accounting.
 func (s *Simulation) Resilience() Resilience {
-	return Resilience{
-		BlackoutRounds:  s.blackoutRounds,
-		DeliverFailures: s.deliverFailures.Load(),
-		UploadFailures:  s.uploadFailures.Load(),
-		Stragglers:      s.stragglers,
-		QuorumMisses:    s.quorumMisses,
+	r := Resilience{
+		BlackoutRounds:   s.blackoutRounds,
+		DeliverFailures:  s.deliverFailures.Load(),
+		UploadFailures:   s.uploadFailures.Load(),
+		ByzantineUploads: s.byzantineUploads.Load(),
+		Stragglers:       s.stragglers,
+		QuorumMisses:     s.quorumMisses,
+		ClippedUploads:   s.clippedUploads,
 	}
+	if s.membership != nil {
+		r.Joins = s.membership.Joins()
+		r.Leaves = s.membership.Leaves()
+		r.Rejoins = s.membership.Rejoins()
+	}
+	return r
+}
+
+// String renders the non-zero counters as space-separated key=value
+// pairs in declaration order ("" when nothing happened), the form the
+// experiment tables print per run.
+func (r Resilience) String() string {
+	var b strings.Builder
+	add := func(key string, v int64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", key, v)
+	}
+	add("blackouts", r.BlackoutRounds)
+	add("deliver-failures", r.DeliverFailures)
+	add("upload-failures", r.UploadFailures)
+	add("stragglers", r.Stragglers)
+	add("quorum-misses", r.QuorumMisses)
+	add("joins", r.Joins)
+	add("leaves", r.Leaves)
+	add("rejoins", r.Rejoins)
+	add("byzantine-uploads", r.ByzantineUploads)
+	add("clipped-uploads", r.ClippedUploads)
+	return b.String()
 }
 
 // Traffic returns the accumulated upload statistics (the transport's
@@ -295,6 +403,9 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	if cfg.ClientFraction == 0 {
 		cfg.ClientFraction = 1
+	}
+	if cfg.TrimFraction == 0 {
+		cfg.TrimFraction = 0.1
 	}
 	if cfg.Transport == nil {
 		tr, err := transport.NewOptions("inproc", transport.Options{Compression: cfg.Compression})
@@ -360,6 +471,11 @@ func New(cfg Config) (*Simulation, error) {
 			privateRows: make(map[string][]float64),
 		}
 	}
+	// The membership fold consumes no simulator RNG, so building it (or
+	// not) leaves every stream above untouched.
+	if cfg.ChurnPlan != nil && cfg.ChurnPlan.Enabled() {
+		s.membership = transport.NewMembership(*cfg.ChurnPlan, cfg.Dataset.NumUsers)
+	}
 	return s, nil
 }
 
@@ -403,6 +519,11 @@ func (s *Simulation) Run() {
 //     global model (the observer still saw the arrivals).
 func (s *Simulation) RunRound() {
 	round := s.round
+	if s.membership != nil {
+		// Apply the round's churn transitions before sampling. Pure
+		// plan functions — no simulator RNG consumed.
+		s.membership.Advance(round)
+	}
 	n := s.cfg.Dataset.NumUsers
 	sampled := s.sampleClients(n)
 
@@ -536,6 +657,29 @@ func (s *Simulation) isStraggler(round, u int) bool {
 }
 
 func (s *Simulation) sampleClients(n int) []int {
+	if s.membership != nil {
+		// Churn: only present clients are eligible. Under full
+		// participation no RNG is consumed (exactly like the static
+		// path); under a fraction the sampler draws from the present
+		// set in ascending-id order, so the draw sequence is a pure
+		// function of (seed, membership) — backend- and worker-
+		// independent.
+		s.presentIDs = s.membership.AppendPresent(s.presentIDs[:0])
+		present := s.presentIDs
+		if s.cfg.ClientFraction >= 1 || len(present) == 0 {
+			return present
+		}
+		k := int(s.cfg.ClientFraction * float64(len(present)))
+		if k < 1 {
+			k = 1
+		}
+		idx := mathx.SampleWithoutReplacement(s.rng, len(present), k)
+		sampled := make([]int, len(idx))
+		for i, j := range idx {
+			sampled[i] = present[j]
+		}
+		return sampled
+	}
 	if s.cfg.ClientFraction >= 1 {
 		all := make([]int, n)
 		for i := range all {
@@ -575,7 +719,16 @@ func (s *Simulation) clientRound(round, u int, m model.Recommender, bcast transp
 	m.TrainLocal(s.cfg.Dataset, u, opt)
 
 	s.capturePrivateRows(m, u)
-	return s.cfg.Policy.Outgoing(m, prev, st.rng, &s.pool)
+	payload := s.cfg.Policy.Outgoing(m, prev, st.rng, &s.pool)
+	if s.cfg.Byzantine != nil && s.cfg.Byzantine.IsAdversary(u) {
+		// Active adversary: corrupt the outgoing payload in place,
+		// reflecting around / echoing the model this client received.
+		// Deterministic (counter-based streams only) and applied before
+		// the transport, so the Observer sees the corrupted upload.
+		s.cfg.Byzantine.Corrupt(round, u, payload, st.lastReceived)
+		s.byzantineUploads.Add(1)
+	}
+	return payload
 }
 
 // installPrivateRows copies the client's persisted private rows into
@@ -637,6 +790,25 @@ func (s *Simulation) aggregate(uploads []upload) {
 	if len(uploads) == 0 {
 		return
 	}
+	if s.cfg.Aggregator.robust() {
+		// Median / trimmed mean need every coordinate column staged;
+		// they replace the weighted-delta reduce wholesale.
+		s.aggregateRobust(uploads)
+		return
+	}
+	// Norm-clip keeps the FedAvg reduce but scales each upload's
+	// normalized weight by its clip factor, computed against the
+	// pre-reduce global model.
+	s.aggFactors = s.aggFactors[:0]
+	if s.cfg.Aggregator == AggNormClip {
+		for i := range uploads {
+			f, clipped := s.clipFactor(uploads[i].payload)
+			if clipped {
+				s.clippedUploads++
+			}
+			s.aggFactors = append(s.aggFactors, f)
+		}
+	}
 	var totalW float64
 	for _, up := range uploads {
 		totalW += up.weight
@@ -645,8 +817,12 @@ func (s *Simulation) aggregate(uploads []upload) {
 		totalW = 1
 	}
 	s.aggW = s.aggW[:0]
-	for _, up := range uploads {
-		s.aggW = append(s.aggW, up.weight/totalW)
+	for i, up := range uploads {
+		w := up.weight / totalW
+		if len(s.aggFactors) > 0 {
+			w *= s.aggFactors[i]
+		}
+		s.aggW = append(s.aggW, w)
 	}
 	globalParams := s.global.Params()
 	s.aggChunks = s.aggChunks[:0]
@@ -740,6 +916,18 @@ type folder struct {
 	timely  int
 	totalW  float64
 	routed  []routedRow
+	// Robust-aggregator staging: coordinate-wise order statistics need
+	// every upload's column at once, so under AggMedian/AggTrimmedMean
+	// the folder keeps the decoded payloads (still consumed in
+	// sampling order — observation order is unchanged) and finishFold
+	// runs the shared robust reduce over them. This trades the
+	// streaming path's bounded payload residency for robustness; the
+	// norm-clip rule has no such trade-off and streams like FedAvg,
+	// scaling each fold by its clip factor (the global model is stable
+	// for the whole round, so the factor is computable on arrival).
+	robust  bool
+	stage   []upload
+	clipped int64
 }
 
 // startFold zeroes the accumulator and launches the round's folder
@@ -753,6 +941,7 @@ func (s *Simulation) startFold(round int, sampled []int) *folder {
 		done:    make(chan struct{}),
 		ready:   make([]bool, len(sampled)),
 		touched: make([]bool, s.global.Params().Len()),
+		robust:  s.cfg.Aggregator.robust(),
 	}
 	mathx.Zero(s.aggBuf)
 	go f.run()
@@ -799,6 +988,19 @@ func (f *folder) consume(i int) {
 	w := float64(len(s.cfg.Dataset.Train[u]))
 	f.timely++
 	f.totalW += w
+	if f.robust {
+		// Stage for the order-statistic reduce; finishFold recycles.
+		f.stage = append(f.stage, upload{from: u, payload: payload, weight: w})
+		return
+	}
+	factor := 1.0
+	if s.cfg.Aggregator == AggNormClip {
+		var clipped bool
+		factor, clipped = s.clipFactor(payload)
+		if clipped {
+			f.clipped++
+		}
+	}
 	gp := s.global.Params()
 	for ei := 0; ei < gp.Len(); ei++ {
 		ge := gp.At(ei)
@@ -816,7 +1018,7 @@ func (f *folder) consume(i int) {
 		}
 		f.touched[ei] = true
 		acc := s.aggBuf[s.aggOff[ei] : s.aggOff[ei]+len(ge.Data)]
-		mathx.AxpyDiff(w, payload.Get(ge.Name), ge.Data, acc)
+		mathx.AxpyDiff(w*factor, payload.Get(ge.Name), ge.Data, acc)
 	}
 	s.pool.Put(payload)
 }
@@ -827,12 +1029,22 @@ func (f *folder) consume(i int) {
 // are discarded and the previous global model stands.
 func (s *Simulation) finishFold(f *folder, sampled []int) {
 	<-f.done
+	s.clippedUploads += f.clipped
 	if s.cfg.Quorum > 0 && f.timely < int(math.Ceil(s.cfg.Quorum*float64(len(sampled)))) {
 		// Quorum miss: keep the previous global model.
 		s.quorumMisses++
+		s.recycleStage(f)
 		return
 	}
 	if f.timely == 0 {
+		return
+	}
+	if f.robust {
+		// The shared order-statistic reduce over the staged uploads
+		// (same code as the dense path — streaming robust runs are
+		// byte-identical to dense robust runs modulo the codec).
+		s.aggregateRobust(f.stage)
+		s.recycleStage(f)
 		return
 	}
 	totalW := f.totalW
@@ -851,6 +1063,15 @@ func (s *Simulation) finishFold(f *folder, sampled []int) {
 		ge := gp.At(ei)
 		mathx.Axpy(1/totalW, s.aggBuf[s.aggOff[ei]:s.aggOff[ei]+len(ge.Data)], ge.Data)
 	}
+}
+
+// recycleStage returns a robust folder's staged payloads to the pool.
+func (s *Simulation) recycleStage(f *folder) {
+	for i := range f.stage {
+		s.pool.Put(f.stage[i].payload)
+		f.stage[i].payload = nil
+	}
+	f.stage = f.stage[:0]
 }
 
 // UtilityHR computes the mean leave-one-out hit ratio across users,

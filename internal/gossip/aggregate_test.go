@@ -42,7 +42,7 @@ func TestAggregateInboxMath(t *testing.T) {
 		{From: 1, To: 0, Params: mk(3)},
 		{From: 2, To: 0, Params: mk(6)},
 	}
-	s.aggregateInbox(nd)
+	s.aggregateInbox(nd, false)
 	for i, v := range own.Get(model.GMFOutput) {
 		want := (ownH[i] + 3 + 6) / 3
 		if math.Abs(v-want) > 1e-12 {
@@ -74,7 +74,7 @@ func TestAggregateInboxKeepsPrivateEntries(t *testing.T) {
 		payload.Get(model.GMFItemEmb)[i] += 1
 	}
 	nd.inbox = []Message{{From: 1, To: 0, Params: payload}}
-	s.aggregateInbox(nd)
+	s.aggregateInbox(nd, false)
 	for i, v := range nd.m.Params().Get(model.GMFUserEmb) {
 		if v != before[i] {
 			t.Fatal("private user embeddings were averaged")

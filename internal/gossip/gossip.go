@@ -22,8 +22,10 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strings"
 	"sync/atomic"
 
+	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/mathx"
@@ -114,6 +116,26 @@ type Config struct {
 	// both checks.
 	FaultPlan *transport.FaultPlan
 
+	// ChurnPlan drives deterministic node churn: each round, present
+	// nodes leave and absent ones (re)join as pure functions of (plan
+	// seed, round, node) — no simulator RNG consumed. An absent node is
+	// frozen completely: no view refresh, no wake, no training, no
+	// receiving (senders skip absent receivers, counted in
+	// Resilience.AbsentSkips), so its model, view and RNG are exactly
+	// as it left them. A rejoiner resumes from that stale state under
+	// the staleness-bounded merge rule: if it missed more than
+	// ChurnPlan.StaleBound rounds and receives at least one push that
+	// round, its own model is too stale to vote — the inbox average
+	// replaces it outright (counted in Resilience.StaleResets) instead
+	// of diluting fresh neighbour state with stale parameters. Within
+	// the bound it merges normally (uniform {own} ∪ inbox average).
+	ChurnPlan *transport.ChurnPlan
+	// Byzantine, when non-nil with Fraction > 0, makes a deterministic
+	// subset of nodes corrupt every push they send (see
+	// attack.Byzantine; the collusion echo resends the node's
+	// post-aggregation state, carrying no local training signal).
+	Byzantine *attack.Byzantine
+
 	// Train is the local-training option template; Rand is ignored.
 	Train model.TrainOptions
 
@@ -180,6 +202,16 @@ func (c *Config) validate() error {
 	if err := c.Compression.Validate(); err != nil {
 		return fmt.Errorf("gossip: %w", err)
 	}
+	if c.ChurnPlan != nil {
+		if err := c.ChurnPlan.Validate(); err != nil {
+			return fmt.Errorf("gossip: %w", err)
+		}
+	}
+	if c.Byzantine != nil {
+		if err := c.Byzantine.Validate(); err != nil {
+			return fmt.Errorf("gossip: %w", err)
+		}
+	}
 	if c.Transport != nil {
 		if tc := c.Transport.Compression(); c.Compression.Enabled() && tc != c.Compression {
 			return fmt.Errorf("gossip: Config.Compression %v conflicts with the transport's %v", c.Compression, tc)
@@ -225,9 +257,15 @@ type Simulation struct {
 	pool    param.Buffers // payload free-list
 	pushes  []push        // per-round staging, indexed by sender
 
+	// Churn membership fold (nil when no ChurnPlan is active).
+	membership *transport.Membership
+
 	// Resilience accounting, incremented from worker goroutines.
-	lostPushes   atomic.Int64
-	skippedPeers atomic.Int64
+	lostPushes      atomic.Int64
+	skippedPeers    atomic.Int64
+	absentSkips     atomic.Int64
+	staleResets     atomic.Int64
+	byzantinePushes atomic.Int64
 }
 
 // Resilience is the simulation's accumulated fault accounting.
@@ -239,14 +277,64 @@ type Resilience struct {
 	// SkippedPeers counts pushes skipped because the chosen receiver
 	// was unreachable under the FaultPlan.
 	SkippedPeers int64
+	// AbsentSkips counts pushes skipped because the chosen receiver
+	// had left under the ChurnPlan (the sender keeps its view — peers
+	// may rejoin).
+	AbsentSkips int64
+	// Joins, Leaves and Rejoins are the ChurnPlan membership
+	// transitions (a rejoin is also counted as a join).
+	Joins   int64
+	Leaves  int64
+	Rejoins int64
+	// StaleResets counts rejoining nodes whose staleness exceeded
+	// ChurnPlan.StaleBound and whose model was replaced by the inbox
+	// average under the staleness-bounded merge rule.
+	StaleResets int64
+	// ByzantinePushes counts pushes corrupted by the Byzantine
+	// adversary population before sending.
+	ByzantinePushes int64
 }
 
 // Resilience returns the accumulated fault accounting.
 func (s *Simulation) Resilience() Resilience {
-	return Resilience{
-		LostPushes:   s.lostPushes.Load(),
-		SkippedPeers: s.skippedPeers.Load(),
+	r := Resilience{
+		LostPushes:      s.lostPushes.Load(),
+		SkippedPeers:    s.skippedPeers.Load(),
+		AbsentSkips:     s.absentSkips.Load(),
+		StaleResets:     s.staleResets.Load(),
+		ByzantinePushes: s.byzantinePushes.Load(),
 	}
+	if s.membership != nil {
+		r.Joins = s.membership.Joins()
+		r.Leaves = s.membership.Leaves()
+		r.Rejoins = s.membership.Rejoins()
+	}
+	return r
+}
+
+// String renders the non-zero counters as space-separated key=value
+// pairs in declaration order ("" when nothing happened), the form the
+// experiment tables print per run.
+func (r Resilience) String() string {
+	var b strings.Builder
+	add := func(key string, v int64) {
+		if v == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", key, v)
+	}
+	add("lost-pushes", r.LostPushes)
+	add("skipped-peers", r.SkippedPeers)
+	add("absent-skips", r.AbsentSkips)
+	add("joins", r.Joins)
+	add("leaves", r.Leaves)
+	add("rejoins", r.Rejoins)
+	add("stale-resets", r.StaleResets)
+	add("byzantine-pushes", r.ByzantinePushes)
+	return b.String()
 }
 
 // push is one node's (possibly absent) outgoing transfer for the
@@ -330,6 +418,11 @@ func New(cfg Config) (*Simulation, error) {
 		s.refreshView(u)
 		s.scheduleRefresh(u)
 	}
+	// The membership fold consumes no simulator RNG, so building it (or
+	// not) leaves every node stream above untouched.
+	if cfg.ChurnPlan != nil && cfg.ChurnPlan.Enabled() {
+		s.membership = transport.NewMembership(*cfg.ChurnPlan, n)
+	}
 	return s, nil
 }
 
@@ -360,6 +453,12 @@ func (s *Simulation) Run() {
 // is byte-identical for every Workers setting.
 func (s *Simulation) RunRound() {
 	round := s.round
+	if s.membership != nil {
+		// Apply the round's churn transitions first: the rest of the
+		// round consults a fixed membership. Pure plan functions — no
+		// simulator RNG consumed.
+		s.membership.Advance(round)
+	}
 
 	// View maintenance via the peer-sampling service. This phase stays
 	// sequential: Pers-Gossip scores candidate peers by calling
@@ -367,9 +466,13 @@ func (s *Simulation) RunRound() {
 	// (NeuMF) run their forward pass through model-owned scratch, so
 	// two concurrent refreshes scoring the same candidate would race.
 	// Refreshes are Exp(rate)-sparse (~n/10 per round at the paper's
-	// rate), so this costs little next to the training phases.
+	// rate), so this costs little next to the training phases. Absent
+	// nodes are frozen — an overdue refresh waits until they rejoin.
 	if !s.cfg.StaticGraph {
 		for u := range s.nodes {
+			if s.membership != nil && !s.membership.Present(u) {
+				continue
+			}
 			if s.nodes[u].nextRefresh <= round {
 				s.refreshView(u)
 				s.scheduleRefresh(u)
@@ -386,6 +489,11 @@ func (s *Simulation) RunRound() {
 	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
 		nd := &s.nodes[u]
 		s.pushes[u] = push{to: -1}
+		if s.membership != nil && !s.membership.Present(u) {
+			// Absent under churn: frozen before any RNG draw, so the
+			// node's stream resumes exactly where it paused.
+			return
+		}
 		if len(nd.view) == 0 || !mathx.Bernoulli(nd.rng, s.cfg.WakeProb) {
 			return
 		}
@@ -395,13 +503,26 @@ func (s *Simulation) RunRound() {
 			s.pool.Put(payload)
 			return // failure injection: message lost in transit
 		}
-		// Plan- and transport-level faults consume no RNG, so a
-		// fault-free run's draw order is untouched by this code path.
+		// Plan- and transport-level faults, churn checks and Byzantine
+		// corruption consume no RNG beyond their own counter-based
+		// streams, so a fault-free run's draw order is untouched by
+		// these code paths.
 		if s.cfg.FaultPlan != nil && s.cfg.FaultPlan.Unreachable(round, to) {
 			// Receiver down this round: skip the push, keep the view.
 			s.skippedPeers.Add(1)
 			s.pool.Put(payload)
 			return
+		}
+		if s.membership != nil && !s.membership.Present(to) {
+			// Receiver left under churn: skip the push, keep the view
+			// (the peer may rejoin).
+			s.absentSkips.Add(1)
+			s.pool.Put(payload)
+			return
+		}
+		if s.cfg.Byzantine != nil && s.cfg.Byzantine.IsAdversary(u) {
+			s.cfg.Byzantine.Corrupt(round, u, payload, nd.preTrain)
+			s.byzantinePushes.Add(1)
 		}
 		sent, err := s.tr.Send(round, u, payload, &s.pool)
 		if err != nil {
@@ -431,8 +552,24 @@ func (s *Simulation) RunRound() {
 	// recycled into the (concurrency-safe) pool.
 	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
 		nd := &s.nodes[u]
+		if s.membership != nil && !s.membership.Present(u) {
+			// Absent under churn: no aggregation, no training — the
+			// node's model and RNG stay frozen until it rejoins. Its
+			// inbox is necessarily empty (senders skip absent peers).
+			return
+		}
 		if len(nd.inbox) > 0 {
-			s.aggregateInbox(nd)
+			dropOwn := false
+			if s.membership != nil && s.cfg.ChurnPlan.StaleBound > 0 {
+				if stale := s.membership.RejoinStaleness(u); stale > s.cfg.ChurnPlan.StaleBound {
+					// Staleness-bounded merge: the rejoiner missed more
+					// rounds than the bound allows, so its own model is
+					// outvoted entirely by the fresh inbox.
+					dropOwn = true
+					s.staleResets.Add(1)
+				}
+			}
+			s.aggregateInbox(nd, dropOwn)
 			for i := range nd.inbox {
 				s.pool.Put(nd.inbox[i].Params)
 				nd.inbox[i].Params = nil
@@ -459,12 +596,33 @@ func (s *Simulation) RunRound() {
 // uniform weights over {own model} ∪ inbox, entry by entry. Entries
 // absent from a payload (Share-less user embeddings) keep the node's
 // own values — decentralized learning never averages what it never
-// receives.
-func (s *Simulation) aggregateInbox(nd *node) {
+// receives. dropOwn is the staleness-bounded merge rule for rejoiners
+// past ChurnPlan.StaleBound: the node's own entry is excluded from the
+// average wherever at least one neighbour sent that entry (entries
+// nobody sent keep the stale values — there is nothing fresher).
+func (s *Simulation) aggregateInbox(nd *node, dropOwn bool) {
 	own := nd.m.Params()
 	for i := 0; i < own.Len(); i++ {
 		oe := own.At(i)
 		name := oe.Name
+		if dropOwn {
+			var cnt float64
+			for _, msg := range nd.inbox {
+				if !msg.Params.Has(name) {
+					continue
+				}
+				if cnt == 0 {
+					copy(oe.Data, msg.Params.Get(name))
+				} else {
+					mathx.Axpy(1, msg.Params.Get(name), oe.Data)
+				}
+				cnt++
+			}
+			if cnt > 1 {
+				mathx.Scale(1/cnt, oe.Data)
+			}
+			continue
+		}
 		// In-place: sum payloads into the live entry, then normalize.
 		// Same addition order as an explicit accumulator, zero
 		// allocation.

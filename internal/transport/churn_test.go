@@ -1,0 +1,180 @@
+package transport
+
+import "testing"
+
+func TestResilienceChurnPlanRoundTrip(t *testing.T) {
+	plans := []ChurnPlan{
+		{},
+		DefaultChurnPlan(),
+		{Seed: 5, InitialFraction: 0.8, LeaveProb: 0.25, JoinProb: 0.5, StaleBound: 2},
+		{Seed: 9, LeaveProb: 0.1, FromRound: 2, ToRound: 8},
+	}
+	for _, p := range plans {
+		got, err := ParseChurnPlan(p.String())
+		if err != nil {
+			t.Fatalf("ParseChurnPlan(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip of %q: got %+v want %+v", p.String(), got, p)
+		}
+	}
+	if got, err := ParseChurnPlan("default"); err != nil || got != DefaultChurnPlan() {
+		t.Errorf("ParseChurnPlan(default) = %+v, %v", got, err)
+	}
+	if got, err := ParseChurnPlan(""); err != nil || got.Enabled() {
+		t.Errorf("empty spec should be the disabled plan, got %+v, %v", got, err)
+	}
+}
+
+func TestResilienceChurnPlanParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"leave",           // no value
+		"leave=2",         // probability out of range
+		"join=-0.5",       // probability out of range
+		"frobnicate=1",    // unknown key
+		"seed=notanumber", // bad uint
+		"stale-bound=-3",  // negative bound
+	} {
+		if _, err := ParseChurnPlan(spec); err == nil {
+			t.Errorf("ParseChurnPlan(%q): want error, got nil", spec)
+		}
+	}
+}
+
+// TestResilienceChurnDecisionsPure pins the stream-independence
+// contract: decisions are pure functions of (seed, family, round, id),
+// so recomputing them gives identical answers, and changing one
+// family's probability never shifts another family's schedule.
+func TestResilienceChurnDecisionsPure(t *testing.T) {
+	p := ChurnPlan{Seed: 7, InitialFraction: 0.5, LeaveProb: 0.3, JoinProb: 0.4}
+	q := p
+	q.LeaveProb = 0.9 // must not move the join or initial streams
+	for id := 0; id < 200; id++ {
+		if p.InitiallyPresent(id) != p.InitiallyPresent(id) {
+			t.Fatalf("InitiallyPresent(%d) not stable", id)
+		}
+		if p.InitiallyPresent(id) != q.InitiallyPresent(id) {
+			t.Fatalf("InitiallyPresent(%d) shifted by LeaveProb change", id)
+		}
+		for round := 0; round < 20; round++ {
+			if p.Leaves(round, id) != p.Leaves(round, id) {
+				t.Fatalf("Leaves(%d,%d) not stable", round, id)
+			}
+			if p.Joins(round, id) != q.Joins(round, id) {
+				t.Fatalf("Joins(%d,%d) shifted by LeaveProb change", round, id)
+			}
+		}
+	}
+}
+
+func TestResilienceChurnPlanWindow(t *testing.T) {
+	p := ChurnPlan{Seed: 3, LeaveProb: 1, JoinProb: 1, FromRound: 2, ToRound: 4}
+	for _, round := range []int{0, 1, 4, 5} {
+		if p.Leaves(round, 0) || p.Joins(round, 0) {
+			t.Errorf("round %d outside window [2,4) should be quiet", round)
+		}
+	}
+	for _, round := range []int{2, 3} {
+		if !p.Leaves(round, 0) || !p.Joins(round, 0) {
+			t.Errorf("round %d inside window should fire with prob 1", round)
+		}
+	}
+	// Initial presence ignores the window.
+	q := ChurnPlan{Seed: 3, InitialFraction: 0.5, FromRound: 5}
+	var present int
+	for id := 0; id < 400; id++ {
+		if q.InitiallyPresent(id) {
+			present++
+		}
+	}
+	if present == 0 || present == 400 {
+		t.Errorf("InitialFraction=0.5 with FromRound=5: got %d/400 present", present)
+	}
+}
+
+// TestResilienceMembershipFold replays the pure decision functions
+// against the Membership fold: presence, staleness and the
+// join/leave/rejoin counters must match the replay exactly.
+func TestResilienceMembershipFold(t *testing.T) {
+	const n, rounds = 120, 12
+	plan := ChurnPlan{Seed: 11, InitialFraction: 0.7, LeaveProb: 0.2, JoinProb: 0.35}
+	m := NewMembership(plan, n)
+
+	// Independent replay of the same decisions.
+	present := make([]bool, n)
+	ever := make([]bool, n)
+	last := make([]int, n)
+	for id := range present {
+		last[id] = -1
+		present[id] = plan.InitiallyPresent(id)
+		ever[id] = present[id]
+	}
+	var joins, leaves, rejoins int64
+	for round := 0; round < rounds; round++ {
+		wantStale := make([]int, n)
+		for id := 0; id < n; id++ {
+			if present[id] {
+				if plan.Leaves(round, id) {
+					present[id] = false
+					leaves++
+				}
+			} else if plan.Joins(round, id) {
+				present[id] = true
+				joins++
+				if ever[id] {
+					rejoins++
+					if last[id] >= 0 {
+						wantStale[id] = round - last[id]
+					}
+				}
+				ever[id] = true
+			}
+			if present[id] {
+				last[id] = round
+			}
+		}
+		m.Advance(round)
+		var wantAlive int
+		for id := 0; id < n; id++ {
+			if m.Present(id) != present[id] {
+				t.Fatalf("round %d id %d: Present=%v, replay says %v", round, id, m.Present(id), present[id])
+			}
+			if m.RejoinStaleness(id) != wantStale[id] {
+				t.Fatalf("round %d id %d: staleness %d, replay says %d", round, id, m.RejoinStaleness(id), wantStale[id])
+			}
+			if present[id] {
+				wantAlive++
+			}
+		}
+		if m.NumPresent() != wantAlive {
+			t.Fatalf("round %d: NumPresent=%d, replay says %d", round, m.NumPresent(), wantAlive)
+		}
+		ids := m.AppendPresent(nil)
+		if len(ids) != wantAlive {
+			t.Fatalf("round %d: AppendPresent returned %d ids, want %d", round, len(ids), wantAlive)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Fatalf("round %d: AppendPresent not ascending: %v", round, ids)
+			}
+		}
+	}
+	if m.Joins() != joins || m.Leaves() != leaves || m.Rejoins() != rejoins {
+		t.Errorf("counters joins/leaves/rejoins = %d/%d/%d, replay says %d/%d/%d",
+			m.Joins(), m.Leaves(), m.Rejoins(), joins, leaves, rejoins)
+	}
+	if joins == 0 || leaves == 0 || rejoins == 0 {
+		t.Errorf("scenario too quiet to be a real test: joins=%d leaves=%d rejoins=%d", joins, leaves, rejoins)
+	}
+}
+
+func TestResilienceMembershipAdvanceOutOfOrder(t *testing.T) {
+	m := NewMembership(DefaultChurnPlan(), 4)
+	m.Advance(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(2) after Advance(0) should panic")
+		}
+	}()
+	m.Advance(2)
+}
