@@ -23,6 +23,7 @@ import (
 	"github.com/collablearn/ciarec/internal/attack"
 	"github.com/collablearn/ciarec/internal/experiments"
 	"github.com/collablearn/ciarec/internal/fed"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -187,8 +188,10 @@ var runners = map[string]runner{
 }
 
 // runScenarioFile loads a scenario — a preset name or a JSON file —
-// and executes it. Decode/validation errors name the offending field.
-func runScenarioFile(path string) (string, error) {
+// and executes it with the process's observability sinks attached
+// (both may be nil). Decode/validation errors name the offending
+// field.
+func runScenarioFile(path string, tr *obs.Tracer, reg *obs.Registry) (string, error) {
 	sc, ok := experiments.ScenarioPreset(path)
 	if !ok {
 		f, err := os.Open(path)
@@ -201,11 +204,30 @@ func runScenarioFile(path string) (string, error) {
 			return "", err
 		}
 	}
-	res, err := experiments.RunScenario(sc)
+	spec, err := sc.Spec()
+	if err != nil {
+		return "", err
+	}
+	spec.Trace = tr
+	spec.Metrics = reg
+	res, err := experiments.RunScenarioWith(sc, spec)
 	if err != nil {
 		return "", err
 	}
 	return experiments.RenderScenario(sc, res), nil
+}
+
+// writeTrace flushes the recorded spans to the -trace file (no-op
+// without one): Chrome trace_event JSON, or JSON lines for a .jsonl
+// extension.
+func writeTrace(tr *obs.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "ciabench: -trace: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // scenarioNames lists the built-in scenario presets for -scenario's
@@ -246,8 +268,12 @@ func main() {
 		agg    = flag.String("agg", "", "FL aggregation rule: fedavg (default), median, trimmed-mean or norm-clip")
 		trim   = flag.Float64("trim", 0, "trimmed-mean per-end trim fraction in [0, 0.5) (0 keeps the default 0.1)")
 		clip   = flag.Float64("clip", 0, "norm-clip per-upload L2 bound (required with -agg norm-clip)")
-		scen   = flag.String("scenario", "", "run one declarative scenario instead of -exp: a JSON file or a preset name ("+scenarioNames()+"); all other knob flags are ignored")
+		scen   = flag.String("scenario", "", "run one declarative scenario instead of -exp: a JSON file or a preset name ("+scenarioNames()+"); all other knob flags except the observability ones are ignored")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+
+		traceOut    = flag.String("trace", "", "write a per-round phase trace of the run(s) to this file at exit: Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev), or JSON lines with a .jsonl extension")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live metrics registry over HTTP at this address (host:port; port 0 picks one): /metrics Prometheus text exposition, /metrics.json, /debug/vars expvar")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof at this address (host:port; port 0 picks one)")
 	)
 	flag.Parse()
 
@@ -255,15 +281,46 @@ func main() {
 		fmt.Println(strings.Join(experimentIDs(), "\n"))
 		return
 	}
+
+	// Observability sinks: a tracer when a trace file was asked for, a
+	// shared registry when it is being served. Neither influences
+	// results (see OBSERVABILITY.md); runners fall back to private
+	// registries when reg stays nil.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultSpansPerRing)
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ciabench: metrics at http://%s/metrics\n", srv.Addr())
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciabench: -pprof-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ciabench: pprof at http://%s/debug/pprof/\n", srv.Addr())
+	}
+
 	if *scen != "" {
 		start := time.Now()
-		out, err := runScenarioFile(*scen)
+		out, err := runScenarioFile(*scen, tracer, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ciabench: -scenario: %v\n", err)
 			os.Exit(2)
 		}
 		fmt.Print(out)
 		fmt.Printf("[scenario completed in %.1fs]\n", time.Since(start).Seconds())
+		writeTrace(tracer, *traceOut)
 		return
 	}
 	spec := experiments.BenchSpec()
@@ -345,6 +402,8 @@ func main() {
 		os.Exit(2)
 	}
 	spec.ClipNorm = *clip
+	spec.Trace = tracer
+	spec.Metrics = reg
 
 	ids := experimentIDs()
 	if *exp != "all" {
@@ -365,4 +424,5 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	writeTrace(tracer, *traceOut)
 }

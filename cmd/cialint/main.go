@@ -1,6 +1,7 @@
-// Command cialint is the repository's invariant linter: the four
+// Command cialint is the repository's invariant linter: the five
 // custom analyzers in internal/analysis (detrand, mapiter, poolleak,
-// mathxseam) behind the `go vet -vettool` unit-checker protocol.
+// mathxseam, obsleak) behind the `go vet -vettool` unit-checker
+// protocol.
 //
 // Usage:
 //

@@ -24,6 +24,12 @@
 // -addr of "auto" (unix) or a :0 port (tcp) the kernel picks the
 // address, so supervisors can avoid collisions by reading it back
 // from the ready file.
+//
+// Observability (see OBSERVABILITY.md): -metrics-addr serves the
+// worker's RPC counters as Prometheus text exposition and expvar,
+// -pprof-addr serves net/http/pprof, and -trace writes a per-request
+// span trace (Chrome trace_event JSON) at shutdown. None of them
+// affect the bytes served.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/transport/rpc"
 )
 
@@ -53,6 +60,10 @@ func main() {
 		addr    = flag.String("addr", "", "listen address: a socket path (unix, or 'auto' for a temp path) or host:port (tcp; port 0 lets the kernel pick)")
 		ready   = flag.String("ready", "", "file to write '<network> <address>' to once the listener is accepting (written atomically)")
 		grace   = flag.Duration("grace", 5*time.Second, "drain window for in-flight RPCs after SIGINT/SIGTERM")
+
+		traceOut    = flag.String("trace", "", "write a per-request span trace to this file at shutdown: Chrome trace_event JSON, or JSON lines with a .jsonl extension")
+		metricsAddr = flag.String("metrics-addr", "", "serve the worker's RPC counters over HTTP at this address (host:port; port 0 picks one): /metrics Prometheus text exposition, /metrics.json, /debug/vars expvar")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof at this address (host:port; port 0 picks one)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -70,10 +81,41 @@ func main() {
 		tmpDir = d
 		listen = filepath.Join(d, "rpc.sock")
 	}
-	srv, err := rpc.Serve(*network, listen)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultSpansPerRing)
+	}
+	srv, err := rpc.Listen(*network, listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ciaworker: %v\n", err)
 		os.Exit(1)
+	}
+	srv.Trace = tracer
+	srv.Start()
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.RegisterFunc("rpc_conn_errors_total", func() float64 { return float64(srv.ConnErrors()) })
+		reg.RegisterFunc("rpc_idle_drops_total", func() float64 { return float64(srv.IdleDrops()) })
+		reg.RegisterFunc("rpc_broadcast_evictions_total", func() float64 { return float64(srv.BroadcastEvictions()) })
+		reg.RegisterTracer(tracer)
+		msrv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciaworker: -metrics-addr: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("ciaworker: metrics at http://%s/metrics\n", msrv.Addr())
+	}
+	if *pprofAddr != "" {
+		psrv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciaworker: -pprof-addr: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer psrv.Close()
+		fmt.Printf("ciaworker: pprof at http://%s/debug/pprof/\n", psrv.Addr())
 	}
 	if *ready != "" {
 		if err := writeReady(*ready, srv.Network(), srv.Addr()); err != nil {
@@ -106,6 +148,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ciaworker: shutdown: %v\n", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		if werr := tracer.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "ciaworker: -trace: %v\n", werr)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("ciaworker: drained and shut down (%d conn errors observed)\n", srv.ConnErrors())
 }

@@ -11,6 +11,9 @@
 //     off on every path, including error returns.
 //   - mathxseam: no handwritten []float64 reduction/saxpy loops
 //     bypassing the mathx kernels in the hot packages.
+//   - obsleak:   no obs API results or opaque-token conversions
+//     flowing back into deterministic round state (observability is
+//     write-only from golden-pinned code).
 //
 // The suite is driven by cmd/cialint, which speaks the `go vet
 // -vettool` unit-checker protocol, so `go vet -vettool=$(cialint)

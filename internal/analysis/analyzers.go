@@ -3,5 +3,5 @@ package analysis
 // All returns the full cialint suite in reporting order. cmd/cialint
 // and the analysistest runner are the only consumers.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapIter, PoolLeak, MathxSeam}
+	return []*Analyzer{DetRand, MapIter, PoolLeak, MathxSeam, ObsLeak}
 }

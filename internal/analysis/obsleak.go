@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsLeak enforces the write-only observability contract of
+// internal/obs in deterministic packages: simulations may hand spans
+// and counter updates *to* the obs layer, but no obs reading — counter
+// values, span counts, snapshot scalars, opaque-token conversions —
+// may flow back where it could steer golden-pinned computation. Two
+// shapes are flagged in non-test files of deterministic packages:
+//
+//   - a call into package obs whose results include a non-obs type
+//     (Counter.Value, Tracer.Dropped, Snapshot.Value, ...); opaque
+//     obs-owned types (Time tokens, *Registry, Snapshot) and the error
+//     of the export writers are exempt, since neither carries usable
+//     round state;
+//   - a conversion of an obs-typed value to a non-obs type
+//     (int64(tracerStart), ...), which would crack an opaque token
+//     open.
+//
+// Snapshot map indexing (snap["transport_bytes_total"]) is
+// deliberately not a finding: a Snapshot is an immutable end-of-run
+// copy, and indexing it is how the rendering layer reads it. The
+// contract this analyzer pins is that live obs state never feeds back
+// into round computation; sanctioned exceptions carry a justified
+// //lint:ignore obsleak directive.
+var ObsLeak = &Analyzer{
+	Name: "obsleak",
+	Doc:  "forbid obs API results and obs-value conversions from flowing into deterministic (golden-pinned) packages",
+	Run:  runObsLeak,
+}
+
+// isObsPkg matches the observability package by import path: the real
+// module path (…/internal/obs) and the analysistest fixture path
+// (plain "obs").
+func isObsPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// isObsNamed reports whether t is (a pointer to) a named type owned by
+// package obs.
+func isObsNamed(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && isObsPkg(named.Obj().Pkg())
+}
+
+// obsSafeResult reports whether deterministic code may hold one result
+// of an obs call: obs-owned named types (opaque tokens, registries,
+// snapshots — possibly behind pointers or slices) and the error
+// interface of the export writers. Everything else (int64 counter
+// reads, float64 samples) is a leak.
+func obsSafeResult(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return obsSafeResult(t.Elem())
+	case *types.Slice:
+		return obsSafeResult(t.Elem())
+	case *types.Named:
+		if t.Obj().Pkg() == nil {
+			return t.Obj().Name() == "error"
+		}
+		return isObsPkg(t.Obj().Pkg())
+	}
+	return false
+}
+
+func runObsLeak(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Conversion form: T(x) with an obs-typed x and a non-obs
+			// target cracks an opaque token open.
+			if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+				if len(call.Args) == 1 && isObsNamed(pass.TypeOf(call.Args[0])) && !obsSafeResult(tv.Type) {
+					pass.Reportf(call.Pos(),
+						"conversion of obs value to %s in deterministic package %s: obs tokens are opaque; keep reads in the obs layer or justify with //lint:ignore obsleak",
+						tv.Type, pass.Pkg.Name())
+				}
+				return true
+			}
+			fn := calleeFuncObj(pass, call)
+			if fn == nil || !isObsPkg(fn.Pkg()) {
+				return true
+			}
+			res := fn.Signature().Results()
+			for i := 0; i < res.Len(); i++ {
+				if !obsSafeResult(res.At(i).Type()) {
+					pass.Reportf(call.Pos(),
+						"obs.%s result (%s) read in deterministic package %s: observability is write-only here; move the read to the obs/rendering layer or justify with //lint:ignore obsleak",
+						fn.Name(), res.At(i).Type(), pass.Pkg.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFuncObj resolves a call's callee to its function object (nil
+// for builtins, type conversions already filtered, and indirect calls
+// through function values).
+func calleeFuncObj(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/collablearn/ciarec/internal/analysis"
+	"github.com/collablearn/ciarec/internal/analysis/analysistest"
+)
+
+func TestObsLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsLeak, "fed/obsflow", "obsout")
+}

@@ -1,0 +1,67 @@
+// Package obsflow exercises the obsleak contract inside a
+// deterministic package path ("fed" segment): recording is
+// sanctioned, reading back is not.
+package obsflow
+
+import (
+	"io"
+
+	"obs"
+)
+
+// Record is the sanctioned shape: opaque token out, straight back in.
+func Record(t *obs.Tracer, round, u int) {
+	start := t.Start()
+	t.Span(0, obs.PhaseTrain, round, u, start)
+}
+
+// RegisterViews is sanctioned: handles and registration only.
+func RegisterViews(r *obs.Registry) {
+	c := r.Counter("rounds_total")
+	c.Inc()
+	r.RegisterFunc("live_view", func() float64 { return 0 })
+}
+
+// SnapshotOK returns an obs-owned value: safe to hold and hand off.
+func SnapshotOK(r *obs.Registry) obs.Snapshot {
+	return r.Snapshot()
+}
+
+// IndexOK is the sanctioned rendering read: plain map indexing of an
+// immutable end-of-run snapshot.
+func IndexOK(s obs.Snapshot) float64 {
+	return s["transport_bytes_total"]
+}
+
+// DumpOK exercises the error-result exemption of the export writers.
+func DumpOK(s obs.Snapshot, w io.Writer) error {
+	return s.WriteJSON(w)
+}
+
+// LeakDropped reads a tracer scalar back into deterministic code.
+func LeakDropped(t *obs.Tracer) int64 {
+	return t.Dropped() // want `obs\.Dropped result \(int64\) read in deterministic package`
+}
+
+// LeakCounter reads a counter value back.
+func LeakCounter(r *obs.Registry) int64 {
+	c := r.Counter("rounds_total")
+	return c.Value() // want `obs\.Value result \(int64\) read in deterministic package`
+}
+
+// LeakSnapshotMethod uses the method form of a snapshot read.
+func LeakSnapshotMethod(s obs.Snapshot) float64 {
+	return s.Value("transport_bytes_total") // want `obs\.Value result \(float64\) read in deterministic package`
+}
+
+// LeakConvert cracks an opaque token open.
+func LeakConvert(t *obs.Tracer) int64 {
+	start := t.Start()
+	return int64(start) // want `conversion of obs value to int64 in deterministic package`
+}
+
+// Justified shows the sanctioned suppression path.
+func Justified(t *obs.Tracer) int64 {
+	//lint:ignore obsleak span-drop diagnostics for a progress line, never enters round state
+	return t.Dropped()
+}

@@ -1,0 +1,67 @@
+// Package obs is a fixture stub of the observability API surface the
+// obsleak analyzer reasons about: opaque tokens, write-only recording
+// calls, scalar accessors, snapshots and export writers.
+package obs
+
+import "io"
+
+// Time is the opaque span-start token.
+type Time int64
+
+// Phase labels one span.
+type Phase int
+
+// PhaseTrain is the only phase the fixtures need.
+const PhaseTrain Phase = 0
+
+// RoundLevel marks coordinator-level spans.
+const RoundLevel = -1
+
+// Tracer records spans.
+type Tracer struct{ dropped int64 }
+
+// NewTracer returns a tracer.
+func NewTracer(spansPerRing int) *Tracer { return &Tracer{} }
+
+// Start returns an opaque start token.
+func (t *Tracer) Start() Time { return 0 }
+
+// Span records one span.
+func (t *Tracer) Span(ringIdx int, phase Phase, round, participant int, start Time) {}
+
+// Dropped is a scalar accessor deterministic code must not call.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Counter is a monotone counter.
+type Counter struct{ v int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Value is a scalar accessor deterministic code must not call.
+func (c *Counter) Value() int64 { return c.v }
+
+// Snapshot is an immutable end-of-run metric copy.
+type Snapshot map[string]float64
+
+// Value is the method form of a snapshot read (flagged; map indexing
+// is the sanctioned rendering read).
+func (s Snapshot) Value(name string) float64 { return s[name] }
+
+// WriteJSON exports the snapshot; its error result is exempt.
+func (s Snapshot) WriteJSON(w io.Writer) error { return nil }
+
+// Registry holds metrics.
+type Registry struct{}
+
+// NewRegistry returns a registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter (an obs-owned handle: safe).
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// RegisterFunc installs a gauge view.
+func (r *Registry) RegisterFunc(name string, fn func() float64) {}
+
+// Snapshot gathers an end-of-run copy (an obs-owned value: safe).
+func (r *Registry) Snapshot() Snapshot { return Snapshot{} }

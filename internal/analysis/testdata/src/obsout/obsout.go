@@ -1,0 +1,11 @@
+// Package obsout is reporting code outside the deterministic set: the
+// same reads that obsleak flags in fed/obsflow are sanctioned here.
+package obsout
+
+import "obs"
+
+// Report reads obs scalars freely: this package renders, it does not
+// simulate.
+func Report(t *obs.Tracer, s obs.Snapshot) (int64, float64) {
+	return t.Dropped(), s.Value("transport_bytes_total")
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -42,6 +43,21 @@ type RunResult struct {
 	// Byzantine counters as key=value pairs (fed.Resilience.String /
 	// gossip.Resilience.String; "" for an uneventful run).
 	Resilience string
+	// Metrics is the end-of-run snapshot of the run's obs registry
+	// (the same counters the transport/resilience accessors expose,
+	// under the metric names in OBSERVABILITY.md). Always populated:
+	// runs without a Spec.Metrics registry gather into a private one.
+	Metrics obs.Snapshot
+}
+
+// runRegistry returns the registry a run should register its metric
+// views into: the spec's shared one, or a fresh private registry so
+// the run's RunResult.Metrics snapshot is populated either way.
+func runRegistry(s Spec) *obs.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return obs.NewRegistry()
 }
 
 // newTransport builds the transport a run's spec asks for: a loopback
@@ -139,7 +155,7 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 	}
 	cia := attack.New(cfg)
 
-	obs := &flObserver{
+	flObs := &flObserver{
 		cia:           cia,
 		ev:            ev,
 		truths:        truths,
@@ -172,7 +188,8 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		Aggregator:        o.Spec.Aggregator,
 		TrimFraction:      o.Spec.TrimFraction,
 		ClipNorm:          o.Spec.ClipNorm,
-		Observer:          obs,
+		Tracer:            o.Spec.Trace,
+		Observer:          flObs,
 		// Utility sweeps run on the simulator's deterministic parallel
 		// evaluation engine (Spec.Workers, per-(seed, round, user)
 		// negative streams), so the recorded curve is independent of the
@@ -191,7 +208,9 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	obs.sim = sim
+	flObs.sim = sim
+	reg := runRegistry(o.Spec)
+	sim.RegisterMetrics(reg)
 	sim.Run()
 
 	// The FL server's upper bound is 1 under full participation; with
@@ -202,11 +221,12 @@ func RunFLCIA(o FLOpts) (RunResult, error) {
 		upper += evalx.UpperBound(seen, truth)
 	}
 	upper /= float64(len(truths))
-	res := obs.rec.Summarize(evalx.RandomBound(k, o.Data.NumUsers), upper)
+	res := flObs.rec.Summarize(evalx.RandomBound(k, o.Data.NumUsers), upper)
 	return RunResult{
 		Attack: res, Utility: utility,
 		TransportName: tr.Name(), Traffic: tr.Stats(),
 		Resilience: sim.Resilience().String(),
+		Metrics:    reg.Snapshot(),
 	}, nil
 }
 
@@ -296,7 +316,7 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		ev = attack.NewRecommenderEval(factory(0), targets)
 	}
 
-	obs := &glObserver{
+	glObs := &glObserver{
 		ev:            ev,
 		truths:        truths,
 		rec:           evalx.NewRecorder(),
@@ -309,17 +329,17 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		if nc < 1 {
 			nc = 1
 		}
-		obs.colluders = make(map[int]struct{}, nc)
-		for _, c := range mathx.SampleWithoutReplacement(obs.rng, n, nc) {
-			obs.colluders[c] = struct{}{}
+		glObs.colluders = make(map[int]struct{}, nc)
+		for _, c := range mathx.SampleWithoutReplacement(glObs.rng, n, nc) {
+			glObs.colluders[c] = struct{}{}
 		}
-		obs.coalition = attack.New(attack.Config{
+		glObs.coalition = attack.New(attack.Config{
 			Beta: beta, K: k, NumUsers: n, Eval: ev,
 		})
 	} else {
-		obs.perNode = make([]*attack.CIA, n)
+		glObs.perNode = make([]*attack.CIA, n)
 		for a := 0; a < n; a++ {
-			obs.perNode[a] = attack.New(attack.Config{
+			glObs.perNode[a] = attack.New(attack.Config{
 				Beta: beta, K: k, NumUsers: n,
 				Eval: &targetView{ev: ev, t: a},
 			})
@@ -351,7 +371,8 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 		Compression: o.Spec.Compression,
 		ChurnPlan:   o.Spec.ChurnPlan,
 		Byzantine:   o.Spec.Byzantine,
-		Observer:    obs,
+		Tracer:      o.Spec.Trace,
+		Observer:    glObs,
 		OnRound: func(round int, s *gossip.Simulation) {
 			switch o.Utility {
 			case UtilityHR:
@@ -365,14 +386,17 @@ func RunGLCIA(o GLOpts) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	obs.sim = sim
+	glObs.sim = sim
+	reg := runRegistry(o.Spec)
+	sim.RegisterMetrics(reg)
 	sim.Run()
 
-	res := obs.rec.Summarize(evalx.RandomBound(k, n), obs.meanUpperBound())
+	res := glObs.rec.Summarize(evalx.RandomBound(k, n), glObs.meanUpperBound())
 	return RunResult{
 		Attack: res, Utility: utility,
 		TransportName: tr.Name(), Traffic: tr.Stats(),
 		Resilience: sim.Resilience().String(),
+		Metrics:    reg.Snapshot(),
 	}, nil
 }
 

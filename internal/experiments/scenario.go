@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -103,6 +104,12 @@ type Scenario struct {
 	// aggregation; the deadline is a Go duration string ("100ms").
 	Quorum            float64 `json:"quorum,omitempty"`
 	StragglerDeadline string  `json:"straggler_deadline,omitempty"`
+
+	// MetricsOut, when non-empty, writes the run's end-of-run registry
+	// snapshot (RunResult.Metrics) as JSON to this path after the run
+	// completes. Observability only: the dump never feeds back into the
+	// run, and results stay byte-identical with or without it.
+	MetricsOut string `json:"metrics_out,omitempty"`
 
 	// Power-law sizing, only meaningful with dataset "powerlaw":
 	// Users × Items drawn from Zipf(zipf)-skewed topics across
@@ -435,6 +442,16 @@ func RunScenario(sc Scenario) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	return RunScenarioWith(sc, spec)
+}
+
+// RunScenarioWith executes the scenario against an already-resolved
+// spec, letting callers decorate the spec with run-scoped observers
+// (Spec.Trace, Spec.Metrics — this is how `ciabench -trace` and
+// `-metrics-addr` attach to a scenario run) before handing it back.
+// The spec must come from sc.Spec(); only the observability fields are
+// meant to differ.
+func RunScenarioWith(sc Scenario, spec Spec) (RunResult, error) {
 	d, err := sc.makeDataset(spec)
 	if err != nil {
 		return RunResult{}, err
@@ -444,22 +461,53 @@ func RunScenario(sc Scenario) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, fieldErr("defense", err)
 	}
+	res := RunResult{}
 	if sc.Protocol == "gossip" {
-		variant, err := parseVariant(sc.Variant)
-		if err != nil {
-			return RunResult{}, fieldErr("variant", err)
+		variant, verr := parseVariant(sc.Variant)
+		if verr != nil {
+			return RunResult{}, fieldErr("variant", verr)
 		}
-		return RunGLCIA(GLOpts{
+		res, err = RunGLCIA(GLOpts{
 			Data: d, Family: sc.Family, Policy: policy, Variant: variant,
 			Spec: spec, Utility: utilityFor(sc.Family),
 		})
+	} else {
+		res, err = RunFLCIA(FLOpts{
+			Data: d, Family: sc.Family, Policy: policy,
+			Spec: spec, Utility: utilityFor(sc.Family),
+			ClientFraction: sc.ClientFraction,
+			DropoutProb:    sc.DropoutProb,
+		})
 	}
-	return RunFLCIA(FLOpts{
-		Data: d, Family: sc.Family, Policy: policy,
-		Spec: spec, Utility: utilityFor(sc.Family),
-		ClientFraction: sc.ClientFraction,
-		DropoutProb:    sc.DropoutProb,
-	})
+	if err != nil {
+		return res, err
+	}
+	if werr := sc.writeMetricsDump(res); werr != nil {
+		return res, werr
+	}
+	return res, nil
+}
+
+// writeMetricsDump writes the run's end-of-run registry snapshot as
+// JSON to sc.MetricsOut (no-op when the field is empty). The dump is
+// write-only observability output: nothing read back, nothing fed
+// into round state.
+func (sc Scenario) writeMetricsDump(res RunResult) error {
+	if sc.MetricsOut == "" {
+		return nil
+	}
+	f, err := os.Create(sc.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("scenario: metrics_out: %v", err)
+	}
+	if err := res.Metrics.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("scenario: metrics_out: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("scenario: metrics_out: %v", err)
+	}
+	return nil
 }
 
 // RenderScenario formats one scenario run like the experiment tables.
@@ -472,7 +520,7 @@ func RenderScenario(sc Scenario, res RunResult) string {
 		Dataset: sc.Dataset, Model: sc.Family, Setting: sc.Protocol,
 		Result:    res.Attack,
 		Transport: res.TransportName, Traffic: res.Traffic,
-		Resilience: res.Resilience,
+		Resilience: res.Resilience, Metrics: res.Metrics,
 	}}
 	out := RenderRows("Scenario: "+name, rows)
 	if u := res.BestUtility(); u > 0 {

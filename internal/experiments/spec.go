@@ -19,6 +19,7 @@ import (
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/fed"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -119,6 +120,15 @@ type Spec struct {
 	Aggregator   fed.Aggregator
 	TrimFraction float64
 	ClipNorm     float64
+	// Trace, when non-nil, records phase spans for every simulated
+	// round (see internal/obs and OBSERVABILITY.md). Metrics, when
+	// non-nil, receives live views of the run's transport, resilience
+	// and pool counters (a nil registry makes each runner gather into a
+	// private one so RunResult.Metrics is always populated). Neither
+	// affects results: all golden hashes are byte-identical with both
+	// enabled.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 	// Seed drives all generation and training.
 	Seed uint64
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/collablearn/ciarec/internal/gossip"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -34,6 +35,13 @@ type AttackRow struct {
 	// summary (RunResult.Resilience); RenderRows appends a resilience
 	// table when any row carries one.
 	Resilience string
+	// Metrics is the run's end-of-run registry snapshot
+	// (RunResult.Metrics). When present it is the source the traffic
+	// and resilience tables render from; rows without one (hand-built
+	// rows, older callers) fall back to the Traffic struct and the
+	// Resilience string, which are kept as tested views of the same
+	// counters.
+	Metrics obs.Snapshot
 }
 
 func (r AttackRow) String() string {
@@ -56,16 +64,62 @@ func RenderRows(title string, rows []AttackRow) string {
 	return b.String()
 }
 
+// resilienceKeys is the merged fed+gossip resilience counter order:
+// each protocol's Resilience.String declaration order is preserved (a
+// run only ever populates one protocol's keys), mapped to the
+// resilience_* metric names the simulations register.
+var resilienceKeys = []struct{ key, metric string }{
+	{"blackouts", "resilience_blackouts"},
+	{"deliver-failures", "resilience_deliver_failures"},
+	{"upload-failures", "resilience_upload_failures"},
+	{"stragglers", "resilience_stragglers"},
+	{"quorum-misses", "resilience_quorum_misses"},
+	{"lost-pushes", "resilience_lost_pushes"},
+	{"skipped-peers", "resilience_skipped_peers"},
+	{"absent-skips", "resilience_absent_skips"},
+	{"joins", "resilience_joins"},
+	{"leaves", "resilience_leaves"},
+	{"rejoins", "resilience_rejoins"},
+	{"stale-resets", "resilience_stale_resets"},
+	{"byzantine-uploads", "resilience_byzantine_uploads"},
+	{"byzantine-pushes", "resilience_byzantine_pushes"},
+	{"clipped-uploads", "resilience_clipped_uploads"},
+}
+
+// resilienceLine renders a row's non-zero resilience counters as
+// key=value pairs from its registry snapshot, matching the protocols'
+// Resilience.String output exactly; rows without a snapshot fall back
+// to the pre-rendered string.
+func resilienceLine(r AttackRow) string {
+	if r.Metrics == nil {
+		return r.Resilience
+	}
+	var b strings.Builder
+	for _, k := range resilienceKeys {
+		v := r.Metrics[k.metric]
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k.key, int64(v))
+	}
+	return b.String()
+}
+
 // renderResilience formats the per-run fault, churn and Byzantine
 // accounting of rows that recorded a non-zero counter: one line per
-// eventful run, the counters as key=value pairs. Uneventful runs (and
-// tables without any resilience activity) print nothing.
+// eventful run, the counters as key=value pairs (read from the row's
+// registry snapshot when it has one). Uneventful runs (and tables
+// without any resilience activity) print nothing.
 func renderResilience(rows []AttackRow) string {
+	lines := make([]string, len(rows))
 	any := false
-	for _, r := range rows {
-		if r.Resilience != "" {
+	for i, r := range rows {
+		lines[i] = resilienceLine(r)
+		if lines[i] != "" {
 			any = true
-			break
 		}
 	}
 	if !any {
@@ -73,13 +127,23 @@ func renderResilience(rows []AttackRow) string {
 	}
 	var b strings.Builder
 	b.WriteString("-- resilience counters per run --\n")
-	for _, r := range rows {
-		if r.Resilience == "" {
+	for i, r := range rows {
+		if lines[i] == "" {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %-6s %-22s %s\n", r.Dataset, r.Model, r.Setting, r.Resilience)
+		fmt.Fprintf(&b, "%-12s %-6s %-22s %s\n", r.Dataset, r.Model, r.Setting, lines[i])
 	}
 	return b.String()
+}
+
+// trafficSnapshot returns the registry snapshot a row's traffic cells
+// render from: the row's own end-of-run snapshot, or the transport_*
+// view of its Traffic struct for rows that never carried one.
+func trafficSnapshot(r AttackRow) obs.Snapshot {
+	if r.Metrics != nil {
+		return r.Metrics
+	}
+	return transport.StatsSnapshot(r.Traffic)
 }
 
 // renderTraffic formats the per-run transport accounting of rows that
@@ -89,17 +153,24 @@ func renderResilience(rows []AttackRow) string {
 // and injected-fault columns. Runs carried by a compressing transport
 // additionally get the dense-equivalent volume and the compression
 // ratio, so the codec's saving is visible next to what actually moved.
+// All cells read from the rows' registry snapshots (see
+// trafficSnapshot), making the obs registry the rendering source of
+// truth.
 func renderTraffic(rows []AttackRow) string {
+	snaps := make([]obs.Snapshot, len(rows))
 	any, resil, comp := false, false, false
-	for _, r := range rows {
+	for i, r := range rows {
 		if r.Transport != "" {
 			any = true
 		}
-		st := r.Traffic
-		if st.Retries > 0 || st.Timeouts > 0 || st.GaveUp > 0 || st.InjectedFaults > 0 {
+		snaps[i] = trafficSnapshot(r)
+		st := snaps[i]
+		if st["transport_retries_total"] > 0 || st["transport_timeouts_total"] > 0 ||
+			st["transport_gave_up_total"] > 0 || st["transport_injected_faults_total"] > 0 {
 			resil = true
 		}
-		if st.RawBytes != st.Bytes || st.RawBroadcastBytes != st.BroadcastBytes {
+		if st["transport_raw_bytes_total"] != st["transport_bytes_total"] ||
+			st["transport_raw_broadcast_bytes_total"] != st["transport_broadcast_bytes_total"] {
 			comp = true
 		}
 	}
@@ -118,27 +189,30 @@ func renderTraffic(rows []AttackRow) string {
 		fmt.Fprintf(&b, " %7s %8s %6s %6s", "retries", "timeouts", "gaveup", "faults")
 	}
 	b.WriteByte('\n')
-	for _, r := range rows {
+	for i, r := range rows {
 		if r.Transport == "" {
 			continue
 		}
-		st := r.Traffic
+		st := snaps[i]
+		count := func(name string) int64 { return int64(st[name]) }
 		fmt.Fprintf(&b, "%-12s %-6s %-22s %-11s %8d %9.2f %8d %9.2f %8d %7d %6d",
 			r.Dataset, r.Model, r.Setting, r.Transport,
-			st.Messages, float64(st.Bytes)/(1<<20),
-			st.BroadcastMessages, float64(st.BroadcastBytes)/(1<<20),
-			st.Chunks, st.RoundTrips, st.Reconnects)
+			count("transport_messages_total"), st["transport_bytes_total"]/(1<<20),
+			count("transport_broadcast_messages_total"), st["transport_broadcast_bytes_total"]/(1<<20),
+			count("transport_chunks_total"), count("transport_round_trips_total"), count("transport_reconnects_total"))
 		if comp {
-			raw := st.RawBytes + st.RawBroadcastBytes
-			moved := st.Bytes + st.BroadcastBytes
+			raw := st["transport_raw_bytes_total"] + st["transport_raw_broadcast_bytes_total"]
+			moved := st["transport_bytes_total"] + st["transport_broadcast_bytes_total"]
 			ratio := 1.0
 			if moved > 0 {
-				ratio = float64(raw) / float64(moved)
+				ratio = raw / moved
 			}
-			fmt.Fprintf(&b, " %9.2f %5.1fx", float64(raw)/(1<<20), ratio)
+			fmt.Fprintf(&b, " %9.2f %5.1fx", raw/(1<<20), ratio)
 		}
 		if resil {
-			fmt.Fprintf(&b, " %7d %8d %6d %6d", st.Retries, st.Timeouts, st.GaveUp, st.InjectedFaults)
+			fmt.Fprintf(&b, " %7d %8d %6d %6d",
+				count("transport_retries_total"), count("transport_timeouts_total"),
+				count("transport_gave_up_total"), count("transport_injected_faults_total"))
 		}
 		b.WriteByte('\n')
 	}
@@ -175,7 +249,7 @@ func RunTable2(spec Spec) ([]AttackRow, error) {
 		}
 		rows[i] = AttackRow{
 			Dataset: c.dataset, Model: c.family, Setting: "FL", Result: res.Attack,
-			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience,
+			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience, Metrics: res.Metrics,
 		}
 		return nil
 	})
@@ -218,7 +292,7 @@ func RunTable3(spec Spec) ([]AttackRow, error) {
 		}
 		rows[i] = AttackRow{
 			Dataset: c.dataset, Model: c.family, Setting: c.variant.String(), Result: res.Attack,
-			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience,
+			Transport: res.TransportName, Traffic: res.Traffic, Resilience: res.Resilience, Metrics: res.Metrics,
 		}
 		return nil
 	})

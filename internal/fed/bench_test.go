@@ -7,6 +7,7 @@ import (
 
 	"github.com/collablearn/ciarec/internal/dataset"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/transport"
 )
@@ -38,6 +39,34 @@ func benchSimOn(b *testing.B, workers int, tr transport.Transport) *Simulation {
 		Workers:   workers,
 		Transport: tr,
 		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchSimTraced is benchSim with the span tracer attached, for
+// pricing the observability layer on the hot round path.
+func benchSimTraced(b *testing.B, workers int, tracer *obs.Tracer) *Simulation {
+	b.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		Name: "bench", NumUsers: 140, NumItems: 260,
+		NumCommunities: 4, MeanItemsPerUser: 40, MinItemsPerUser: 10,
+		Affinity: 0.85, ZipfExponent: 0.9, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SplitLeaveOneOut(3)
+	s, err := New(Config{
+		Dataset: d,
+		Factory: model.NewGMFFactory(d.NumUsers, d.NumItems, 8),
+		Rounds:  1 << 30, // benchmarks drive RunRound directly
+		Train:   model.TrainOptions{Epochs: 2},
+		Workers: workers,
+		Tracer:  tracer,
+		Seed:    1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -195,6 +224,39 @@ func BenchmarkFedRound(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.RunRound()
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead prices the observability layer on the hot
+// round path: the BenchmarkFedRound workload untraced (nil tracer —
+// the disabled recorder's no-op fast path) against fully traced
+// (every phase span of every participant recorded into the per-worker
+// rings, including ring wraparound at steady state). The acceptance
+// budget is <5% wall-clock overhead on/off; PERFORMANCE.md records
+// the measured numbers.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tracer *obs.Tracer
+			if traced {
+				tracer = obs.NewTracer(obs.DefaultSpansPerRing)
+			}
+			s := benchSimTraced(b, 4, tracer)
+			s.RunRound() // warm scratch models and the payload pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunRound()
+			}
+			b.StopTimer()
+			if traced && tracer.Recorded() == 0 {
+				b.Fatal("traced cell recorded no spans")
 			}
 		})
 	}

@@ -12,7 +12,7 @@ import (
 // runCompressed executes a fresh simulation on the named backend at
 // the given compression level, recording the adversary's observation
 // stream, and returns the simulation plus its final global parameters.
-func runCompressed(t *testing.T, cfg Config, backend string, comp param.Compression, log *[]obs) (*Simulation, *param.Set) {
+func runCompressed(t *testing.T, cfg Config, backend string, comp param.Compression, log *[]obsEntry) (*Simulation, *param.Set) {
 	t.Helper()
 	tr, err := transport.NewOptions(backend, transport.Options{Compression: comp})
 	if err != nil {
@@ -22,7 +22,7 @@ func runCompressed(t *testing.T, cfg Config, backend string, comp param.Compress
 	cfg.Transport = tr
 	if log != nil {
 		cfg.Observer = observerFunc(func(msg Message) {
-			*log = append(*log, obs{msg.Round, msg.From, msg.Params.L2Norm()})
+			*log = append(*log, obsEntry{msg.Round, msg.From, msg.Params.L2Norm()})
 		})
 	}
 	s, err := New(cfg)
@@ -33,7 +33,7 @@ func runCompressed(t *testing.T, cfg Config, backend string, comp param.Compress
 	return s, s.Global().Params().Clone()
 }
 
-type obs struct {
+type obsEntry struct {
 	round, from int
 	norm        float64
 }
@@ -52,7 +52,7 @@ func TestCompressedBackendEquivalence(t *testing.T) {
 			cfg := fedConfig(d)
 			cfg.Rounds = 3
 			cfg.Workers = 1
-			var refLog []obs
+			var refLog []obsEntry
 			refSim, refParams := runCompressed(t, cfg, "inproc", comp, &refLog)
 			for _, cell := range []struct {
 				backend string
@@ -63,7 +63,7 @@ func TestCompressedBackendEquivalence(t *testing.T) {
 				t.Run(fmt.Sprintf("%s/workers=%d", cell.backend, cell.workers), func(t *testing.T) {
 					c := cfg
 					c.Workers = cell.workers
-					var log []obs
+					var log []obsEntry
 					sim, params := runCompressed(t, c, cell.backend, comp, &log)
 					if !param.Equal(refParams, params, 0) {
 						t.Fatal("final global params differ from the inproc/workers=1 reference")

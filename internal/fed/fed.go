@@ -28,6 +28,7 @@ import (
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/parx"
 	"github.com/collablearn/ciarec/internal/transport"
@@ -168,6 +169,13 @@ type Config struct {
 	// ClipNorm is AggNormClip's per-upload L2 bound (required > 0 when
 	// that aggregator is selected).
 	ClipNorm float64
+
+	// Tracer optionally records phase spans (train/encode/send/
+	// aggregate/broadcast/eval) for every round. nil disables tracing;
+	// the simulation's outputs are byte-identical either way — the
+	// tracer is write-only from the simulation's point of view (the
+	// obsleak analyzer enforces it).
+	Tracer *obs.Tracer
 
 	// Observer optionally receives all uploads (the adversary hook).
 	Observer Observer
@@ -549,7 +557,12 @@ func (s *Simulation) RunRound() {
 	for range sampled {
 		s.payloads = append(s.payloads, nil)
 	}
+	// Span ring convention: parallel workers record on their parx index
+	// (0..workers-1), the sequential coordinator phases on ring
+	// s.workers, the streaming folder goroutine on s.workers+1.
+	encStart := s.cfg.Tracer.Start()
 	bcast, err := s.tr.OpenBroadcast(round, s.global.Params())
+	s.cfg.Tracer.Span(s.workers, obs.PhaseEncode, round, obs.RoundLevel, encStart)
 	if err != nil {
 		// Blackout round: the server could not stage the global model.
 		s.blackoutRounds++
@@ -566,7 +579,7 @@ func (s *Simulation) RunRound() {
 		fold = s.startFold(round, sampled)
 	}
 	parx.ForEach(s.workers, len(sampled), func(w, i int) {
-		payload := s.clientRound(round, sampled[i], s.scratches[w], bcast)
+		payload := s.clientRound(round, sampled[i], w, s.scratches[w], bcast)
 		switch {
 		case payload == nil:
 			// Delivery failed: the client skipped the round.
@@ -575,7 +588,9 @@ func (s *Simulation) RunRound() {
 			// Its local training (and private state) already happened.
 			s.pool.Put(payload)
 		default:
+			sendStart := s.cfg.Tracer.Start()
 			sent, err := s.tr.Send(round, sampled[i], payload, &s.pool)
+			s.cfg.Tracer.Span(w, obs.PhaseSend, round, sampled[i], sendStart)
 			if err != nil {
 				// Upload lost in transit (payload already recycled).
 				s.uploadFailures.Add(1)
@@ -589,7 +604,9 @@ func (s *Simulation) RunRound() {
 	})
 	bcast.Close()
 	if fold != nil {
+		aggStart := s.cfg.Tracer.Start()
 		s.finishFold(fold, sampled)
+		s.cfg.Tracer.Span(s.workers, obs.PhaseAggregate, round, obs.RoundLevel, aggStart)
 		s.finishRound(round)
 		return
 	}
@@ -598,6 +615,7 @@ func (s *Simulation) RunRound() {
 	// Straggler decisions are pure plan functions, so drawing them here
 	// (not in the parallel region) changes nothing and keeps the
 	// exclusion logic next to the aggregation it affects.
+	aggStart := s.cfg.Tracer.Start()
 	uploads := s.uploads[:0]
 	for i, u := range sampled {
 		payload := s.payloads[i]
@@ -631,6 +649,7 @@ func (s *Simulation) RunRound() {
 		uploads[i].payload = nil
 	}
 	s.uploads = uploads[:0]
+	s.cfg.Tracer.Span(s.workers, obs.PhaseAggregate, round, obs.RoundLevel, aggStart)
 	s.finishRound(round)
 }
 
@@ -703,9 +722,12 @@ func (s *Simulation) sampleClients(n int) []int {
 // means the client never got this round's model: it returns nil
 // without training (its RNG and private state untouched, so the
 // failure is purely a skipped round).
-func (s *Simulation) clientRound(round, u int, m model.Recommender, bcast transport.Broadcast) *param.Set {
+func (s *Simulation) clientRound(round, u, w int, m model.Recommender, bcast transport.Broadcast) *param.Set {
 	st := &s.clients[u]
-	if err := bcast.Deliver(u, m.Params()); err != nil {
+	dlvStart := s.cfg.Tracer.Start()
+	err := bcast.Deliver(u, m.Params())
+	s.cfg.Tracer.Span(w, obs.PhaseBroadcast, round, u, dlvStart)
+	if err != nil {
 		s.deliverFailures.Add(1)
 		return nil
 	}
@@ -716,7 +738,9 @@ func (s *Simulation) clientRound(round, u int, m model.Recommender, bcast transp
 	opt := s.cfg.Train
 	opt.Rand = st.rng
 	s.cfg.Policy.PrepareTrain(&opt, m, st.lastReceived)
+	trainStart := s.cfg.Tracer.Start()
 	m.TrainLocal(s.cfg.Dataset, u, opt)
+	s.cfg.Tracer.Span(w, obs.PhaseTrain, round, u, trainStart)
 
 	s.capturePrivateRows(m, u)
 	payload := s.cfg.Policy.Outgoing(m, prev, st.rng, &s.pool)
@@ -976,6 +1000,8 @@ func (f *folder) consume(i int) {
 		return // dropped, skipped or lost before arrival
 	}
 	u := f.sampled[i]
+	foldStart := s.cfg.Tracer.Start()
+	defer s.cfg.Tracer.Span(s.workers+1, obs.PhaseAggregate, f.round, u, foldStart)
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.OnUpload(Message{Round: f.round, From: u, Params: payload})
 	}
@@ -1083,14 +1109,20 @@ func (s *Simulation) recycleStage(f *folder) {
 // often (or whether) earlier rounds were evaluated.
 func (s *Simulation) UtilityHR(k, numNeg int) float64 {
 	s.beginUtilitySweep()
-	return s.eval.HR(s.round, s.evalModel, k, numNeg)
+	evalStart := s.cfg.Tracer.Start()
+	hr := s.eval.HR(s.round, s.evalModel, k, numNeg)
+	s.cfg.Tracer.Span(s.workers, obs.PhaseEval, s.round, obs.RoundLevel, evalStart)
+	return hr
 }
 
 // UtilityF1 computes the mean top-k F1 across users, honouring
 // Share-less privacy like UtilityHR.
 func (s *Simulation) UtilityF1(k int) float64 {
 	s.beginUtilitySweep()
-	return s.eval.F1(s.evalModel, k)
+	evalStart := s.cfg.Tracer.Start()
+	f1 := s.eval.F1(s.evalModel, k)
+	s.cfg.Tracer.Span(s.workers, obs.PhaseEval, s.round, obs.RoundLevel, evalStart)
+	return f1
 }
 
 // beginUtilitySweep marks every worker scratch as stale: training

@@ -30,6 +30,7 @@ import (
 	"github.com/collablearn/ciarec/internal/defense"
 	"github.com/collablearn/ciarec/internal/mathx"
 	"github.com/collablearn/ciarec/internal/model"
+	"github.com/collablearn/ciarec/internal/obs"
 	"github.com/collablearn/ciarec/internal/param"
 	"github.com/collablearn/ciarec/internal/parx"
 	"github.com/collablearn/ciarec/internal/transport"
@@ -170,6 +171,12 @@ type Config struct {
 	// and utility evaluation derives one counter-based stream per
 	// (seed, round, node).
 	Workers int
+
+	// Tracer optionally records phase spans (encode/send/aggregate/
+	// train/eval) for every round. nil disables tracing; results are
+	// byte-identical either way — the tracer is write-only from the
+	// simulation's point of view (the obsleak analyzer enforces it).
+	Tracer *obs.Tracer
 
 	Observer Observer
 	OnRound  func(round int, s *Simulation)
@@ -486,7 +493,7 @@ func (s *Simulation) RunRound() {
 	// serial round; transport stats are atomic sums, independent of
 	// worker interleaving). Lost messages never reach the transport —
 	// loss is the simulator's failure injection, not the wire's.
-	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
+	parx.ForEach(s.workers, len(s.nodes), func(w, u int) {
 		nd := &s.nodes[u]
 		s.pushes[u] = push{to: -1}
 		if s.membership != nil && !s.membership.Present(u) {
@@ -498,7 +505,9 @@ func (s *Simulation) RunRound() {
 			return
 		}
 		to := nd.view[nd.rng.IntN(len(nd.view))]
+		encStart := s.cfg.Tracer.Start()
 		payload := s.cfg.Policy.Outgoing(nd.m, nd.preTrain, nd.rng, &s.pool)
+		s.cfg.Tracer.Span(w, obs.PhaseEncode, round, u, encStart)
 		if s.cfg.LossProb > 0 && mathx.Bernoulli(nd.rng, s.cfg.LossProb) {
 			s.pool.Put(payload)
 			return // failure injection: message lost in transit
@@ -524,7 +533,9 @@ func (s *Simulation) RunRound() {
 			s.cfg.Byzantine.Corrupt(round, u, payload, nd.preTrain)
 			s.byzantinePushes.Add(1)
 		}
+		sendStart := s.cfg.Tracer.Start()
 		sent, err := s.tr.Send(round, u, payload, &s.pool)
+		s.cfg.Tracer.Span(w, obs.PhaseSend, round, u, sendStart)
 		if err != nil {
 			s.lostPushes.Add(1)
 			return // push lost in transit (payload already recycled)
@@ -550,7 +561,7 @@ func (s *Simulation) RunRound() {
 	// Phase 2: aggregate inboxes; Phase 3: local training. Each node
 	// touches only its own model, inbox and RNG; consumed payloads are
 	// recycled into the (concurrency-safe) pool.
-	parx.ForEach(s.workers, len(s.nodes), func(_, u int) {
+	parx.ForEach(s.workers, len(s.nodes), func(w, u int) {
 		nd := &s.nodes[u]
 		if s.membership != nil && !s.membership.Present(u) {
 			// Absent under churn: no aggregation, no training — the
@@ -559,6 +570,7 @@ func (s *Simulation) RunRound() {
 			return
 		}
 		if len(nd.inbox) > 0 {
+			aggStart := s.cfg.Tracer.Start()
 			dropOwn := false
 			if s.membership != nil && s.cfg.ChurnPlan.StaleBound > 0 {
 				if stale := s.membership.RejoinStaleness(u); stale > s.cfg.ChurnPlan.StaleBound {
@@ -575,12 +587,15 @@ func (s *Simulation) RunRound() {
 				nd.inbox[i].Params = nil
 			}
 			nd.inbox = nd.inbox[:0]
+			s.cfg.Tracer.Span(w, obs.PhaseAggregate, round, u, aggStart)
 		}
 		nd.preTrain = nd.m.Params().CloneInto(nd.preTrain)
 		opt := s.cfg.Train
 		opt.Rand = nd.rng
 		s.cfg.Policy.PrepareTrain(&opt, nd.m, nd.preTrain)
+		trainStart := s.cfg.Tracer.Start()
 		nd.m.TrainLocal(s.cfg.Dataset, u, opt)
+		s.cfg.Tracer.Span(w, obs.PhaseTrain, round, u, trainStart)
 	})
 
 	if s.cfg.Observer != nil {
@@ -762,12 +777,18 @@ func (s *Simulation) probeItems(u int) []int {
 // independent of any other RNG consumption (each node's model is owned
 // by exactly one work item, so model-owned forward scratch never races).
 func (s *Simulation) UtilityHR(k, numNeg int) float64 {
-	return s.eval.HR(s.round, s.nodeModel, k, numNeg)
+	evalStart := s.cfg.Tracer.Start()
+	hr := s.eval.HR(s.round, s.nodeModel, k, numNeg)
+	s.cfg.Tracer.Span(s.workers, obs.PhaseEval, s.round, obs.RoundLevel, evalStart)
+	return hr
 }
 
 // UtilityF1 is the mean top-k F1 across nodes on their local models.
 func (s *Simulation) UtilityF1(k int) float64 {
-	return s.eval.F1(s.nodeModel, k)
+	evalStart := s.cfg.Tracer.Start()
+	f1 := s.eval.F1(s.nodeModel, k)
+	s.cfg.Tracer.Span(s.workers, obs.PhaseEval, s.round, obs.RoundLevel, evalStart)
+	return f1
 }
 
 // nodeModel is the eval engine's pick function: node u evaluates with

@@ -1,0 +1,40 @@
+package gossip
+
+import (
+	"github.com/collablearn/ciarec/internal/obs"
+	"github.com/collablearn/ciarec/internal/transport"
+)
+
+// RegisterMetrics installs live views of the simulation's counters
+// into reg: the transport's transport_* traffic counters, the
+// resilience_* fault accounting (same keys as Resilience.String with
+// dashes underscored), the parameter pool's hit/miss counts and —
+// when the simulation is traced — the tracer's span volume. The
+// registry only ever reads; the simulation stays the owner of every
+// counter. No-op on a nil registry.
+func (s *Simulation) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	transport.RegisterStats(reg, s.tr)
+	res := func(get func(Resilience) int64) func() float64 {
+		return func() float64 { return float64(get(s.Resilience())) }
+	}
+	reg.RegisterFunc("resilience_lost_pushes", res(func(r Resilience) int64 { return r.LostPushes }))
+	reg.RegisterFunc("resilience_skipped_peers", res(func(r Resilience) int64 { return r.SkippedPeers }))
+	reg.RegisterFunc("resilience_absent_skips", res(func(r Resilience) int64 { return r.AbsentSkips }))
+	reg.RegisterFunc("resilience_joins", res(func(r Resilience) int64 { return r.Joins }))
+	reg.RegisterFunc("resilience_leaves", res(func(r Resilience) int64 { return r.Leaves }))
+	reg.RegisterFunc("resilience_rejoins", res(func(r Resilience) int64 { return r.Rejoins }))
+	reg.RegisterFunc("resilience_stale_resets", res(func(r Resilience) int64 { return r.StaleResets }))
+	reg.RegisterFunc("resilience_byzantine_pushes", res(func(r Resilience) int64 { return r.ByzantinePushes }))
+	reg.RegisterFunc("param_pool_hits_total", func() float64 {
+		h, _ := s.pool.Stats()
+		return float64(h)
+	})
+	reg.RegisterFunc("param_pool_misses_total", func() float64 {
+		_, m := s.pool.Stats()
+		return float64(m)
+	})
+	reg.RegisterTracer(s.cfg.Tracer)
+}

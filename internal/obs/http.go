@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is a running observability HTTP endpoint (metrics or pprof).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address — with a ":0" request this is
+// where the kernel actually put the listener, so supervisors (and the
+// CI smoke) can find the endpoint.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down, closing the listener and any open
+// connections.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// serve starts an HTTP server for handler on addr and returns once
+// the listener is bound.
+func serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// ErrServerClosed (and listener-closed errors) are the normal
+		// shutdown path; the endpoint is best-effort by design.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// publishOnce guards the process-wide expvar publication: expvar
+// panics on duplicate names, and a process may serve several metrics
+// endpoints over its lifetime (tests do).
+var publishOnce sync.Once
+
+// ServeMetrics serves reg on addr:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same flat snapshot as the end-of-run JSON dump
+//	/debug/vars    expvar (Go runtime memstats + the ciarec snapshot)
+//
+// Pass ":0" (or "127.0.0.1:0") to let the kernel pick a port; the
+// bound address is Server.Addr.
+func ServeMetrics(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: ServeMetrics needs a non-nil registry")
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("ciarec_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return serve(addr, mux)
+}
+
+// ServePprof serves the standard net/http/pprof handlers on addr
+// under /debug/pprof/ (an explicit mux — nothing is registered on
+// http.DefaultServeMux). Pass ":0" for a kernel-picked port.
+func ServePprof(addr string) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serve(addr, mux)
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndRegistryAreNoOps(t *testing.T) {
+	var tr *Tracer
+	start := tr.Start()
+	tr.Span(0, PhaseTrain, 0, 1, start)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 || tr.Recorded() != 0 {
+		t.Fatalf("nil tracer counts non-zero")
+	}
+
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(3)
+	reg.Histogram("z", nil).Observe(1)
+	reg.RegisterFunc("f", func() float64 { return 1 })
+	if snap := reg.Snapshot(); snap != nil {
+		t.Fatalf("nil registry Snapshot = %v, want nil", snap)
+	}
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestTracerRecordsAndMerges(t *testing.T) {
+	tr := NewTracer(16)
+	s0 := tr.Start()
+	tr.Span(0, PhaseEncode, 0, RoundLevel, s0)
+	s1 := tr.Start()
+	tr.Span(1, PhaseTrain, 0, 7, s1)
+	s2 := tr.Start()
+	tr.Span(0, PhaseSend, 0, 7, s2)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans not sorted by start: %v", spans)
+		}
+	}
+	if spans[0].Phase != PhaseEncode || spans[0].Participant != RoundLevel {
+		t.Fatalf("first span = %+v, want round-level encode", spans[0])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	const capacity = 8
+	tr := NewTracer(capacity)
+	for i := 0; i < 3*capacity; i++ {
+		s := tr.Start()
+		tr.Span(0, PhaseTrain, i, 0, s)
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("got %d live spans, want %d", len(spans), capacity)
+	}
+	if got, want := tr.Dropped(), int64(2*capacity); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	// The survivors are the newest writes, oldest first.
+	for i, s := range spans {
+		if want := 2*capacity + i; s.Round != want {
+			t.Fatalf("span %d has round %d, want %d", i, s.Round, want)
+		}
+	}
+}
+
+func TestTracerConcurrentWriters(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := tr.Start()
+				tr.Span(w, PhaseTrain, i, w, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 800 {
+		t.Fatalf("Recorded = %d, want 800", got)
+	}
+}
+
+func TestChromeTraceIsValid(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.Start()
+	time.Sleep(time.Millisecond)
+	tr.Span(0, PhaseAggregate, 2, RoundLevel, s)
+	s = tr.Start()
+	tr.Span(1, PhaseTrain, 2, 5, s)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + 2 spans
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	var sawAgg, sawTrain bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+		case ev.Name == "aggregate":
+			sawAgg = true
+			if ev.TID != 0 {
+				t.Fatalf("round-level span on tid %d, want 0", ev.TID)
+			}
+			if ev.Dur < 900 { // slept 1ms; ts/dur are microseconds
+				t.Fatalf("aggregate dur = %v µs, want ≥ 900", ev.Dur)
+			}
+		case ev.Name == "train":
+			sawTrain = true
+			if ev.TID != 6 {
+				t.Fatalf("participant 5 on tid %d, want 6", ev.TID)
+			}
+		}
+	}
+	if !sawAgg || !sawTrain {
+		t.Fatalf("missing spans in %s", buf.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.Start()
+	tr.Span(0, PhaseEval, 1, RoundLevel, s)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line is not JSON: %v", err)
+	}
+	if rec["phase"] != "eval" {
+		t.Fatalf("phase = %v, want eval", rec["phase"])
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("rounds_total")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	if reg.Counter("rounds_total") != c {
+		t.Fatalf("re-lookup returned a different counter")
+	}
+	g := reg.Gauge("workers")
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v, want 4", g.Value())
+	}
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got < 5.05 || got > 5.06 {
+		t.Fatalf("hist sum = %v", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Value("rounds_total") != 3 || snap.Value("workers") != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap.Value("lat_seconds_count") != 3 {
+		t.Fatalf("snapshot hist count = %v", snap.Value("lat_seconds_count"))
+	}
+	if snap.Value("lat_seconds_bucket_le_0.1") != 2 { // cumulative
+		t.Fatalf("snapshot bucket = %v", snap.Value("lat_seconds_bucket_le_0.1"))
+	}
+}
+
+func TestRegisterFuncReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterFunc("live", func() float64 { return 1 })
+	reg.RegisterFunc("live", func() float64 { return 2 })
+	if got := reg.Snapshot().Value("live"); got != 2 {
+		t.Fatalf("replaced func = %v, want 2", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("msgs_total").Add(7)
+	reg.Gauge("ratio").Set(1.5)
+	reg.Histogram("lat_seconds", []float64{0.1}).Observe(0.05)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE msgs_total counter\nmsgs_total 7\n",
+		"# TYPE ratio gauge\nratio 1.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(2)
+	reg.Gauge("b").Set(0.25)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if m["a_total"] != 2 || m["b"] != 0.25 {
+		t.Fatalf("dump = %v", m)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke_total").Inc()
+	ms, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer ms.Close()
+	body := httpGet(t, "http://"+ms.Addr()+"/metrics")
+	if !strings.Contains(body, "smoke_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	jsonBody := httpGet(t, "http://"+ms.Addr()+"/metrics.json")
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(jsonBody), &m); err != nil {
+		t.Fatalf("/metrics.json is not JSON: %v", err)
+	}
+	if !strings.Contains(httpGet(t, "http://"+ms.Addr()+"/debug/vars"), "memstats") {
+		t.Fatalf("/debug/vars missing memstats")
+	}
+
+	ps, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePprof: %v", err)
+	}
+	defer ps.Close()
+	if !strings.Contains(httpGet(t, "http://"+ps.Addr()+"/debug/pprof/"), "goroutine") {
+		t.Fatalf("pprof index missing profiles")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func TestRegisterTracer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(4)
+	reg.RegisterTracer(tr)
+	s := tr.Start()
+	tr.Span(0, PhaseTrain, 0, 0, s)
+	if got := reg.Snapshot().Value("obs_trace_spans"); got != 1 {
+		t.Fatalf("obs_trace_spans = %v, want 1", got)
+	}
+}

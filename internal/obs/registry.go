@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; all methods are safe for concurrent use and tolerate a nil
+// receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable metric. Safe for concurrent use; nil-tolerant.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the fixed histogram upper bounds (seconds)
+// used for phase latencies: 10 µs up to 1 s in a 1-2.5-5 ladder. The
+// round engines' phases (per-client training ~100 µs–10 ms, socket
+// RPCs ~30 µs) land mid-ladder at bench scale.
+var DefLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1,
+}
+
+// Histogram is a fixed-bucket latency histogram (cumulative counts at
+// export time, non-cumulative internally). Safe for concurrent use;
+// nil-tolerant.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	total   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value (typically seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name    string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Registry is an ordered, flat collection of named metrics: counters,
+// gauges, fixed-bucket histograms and read-on-gather functions (live
+// views over counters owned elsewhere, e.g. transport.Stats). Names
+// follow Prometheus conventions (snake_case, _total suffix on
+// counters). All methods are safe for concurrent use and tolerate a
+// nil receiver, so instrumented code never branches on "metrics on?".
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]int
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// registerLocked inserts m, replacing any previous metric of the same
+// name (re-registration is how successive runs sharing one live
+// registry hand over their gauge views; the name keeps its original
+// position). Callers hold r.mu.
+func (r *Registry) registerLocked(m metric) {
+	if i, ok := r.byName[m.name]; ok {
+		r.metrics[i] = m
+	} else {
+		r.byName[m.name] = len(r.metrics)
+		r.metrics = append(r.metrics, m)
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a
+// nil registry it returns nil — a valid no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		if c := r.metrics[i].counter; c != nil {
+			return c
+		}
+	}
+	c := &Counter{}
+	r.registerLocked(metric{name: name, counter: c})
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a
+// nil registry — a valid no-op gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		if g := r.metrics[i].gauge; g != nil {
+			return g
+		}
+	}
+	g := &Gauge{}
+	r.registerLocked(metric{name: name, gauge: g})
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it
+// with the given upper bounds (nil bounds mean DefLatencyBuckets) on
+// first use. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		if h := r.metrics[i].hist; h != nil {
+			return h
+		}
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	h := newHistogram(bounds)
+	r.registerLocked(metric{name: name, hist: h})
+	return h
+}
+
+// RegisterFunc registers fn as a live gauge view: its value is read
+// at every gather. Re-registering a name replaces the previous view
+// (successive simulation runs over one registry each install theirs).
+// No-op on a nil registry.
+func (r *Registry) RegisterFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.registerLocked(metric{name: name, fn: fn})
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time flat view of a registry: metric name →
+// value. Histograms expand into name_count, name_sum and cumulative
+// name_bucket_le_<bound> entries.
+type Snapshot map[string]float64
+
+// Value returns the named sample (0 when absent), the lookup the
+// table renderers use.
+func (s Snapshot) Value(name string) float64 { return s[name] }
+
+// WriteJSON writes the snapshot as one sorted, indented JSON object —
+// the end-of-run metrics dump format.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Hand-ordered object: encoding/json would sort map keys too, but
+	// building the document explicitly keeps floats in %g form without
+	// scientific-notation surprises for integer-valued counters.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, n := range names {
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		key, err := json.Marshal(n)
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("  %s: %s%s\n", key, formatSample(s[n]), sep)
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// formatSample renders integral values without a fraction and
+// everything else in shortest-round-trip form.
+func formatSample(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// bucketKey renders a histogram bucket snapshot key.
+func bucketKey(name string, le float64) string {
+	return name + "_bucket_le_" + strconv.FormatFloat(le, 'g', -1, 64)
+}
+
+// Snapshot captures every metric's current value (nil registry → nil).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	// Gather functions run outside the registry lock: they may call
+	// back into arbitrary code (transport stats, pool stats).
+	out := make(Snapshot, len(metrics))
+	for _, m := range metrics {
+		switch {
+		case m.counter != nil:
+			out[m.name] = float64(m.counter.Value())
+		case m.gauge != nil:
+			out[m.name] = m.gauge.Value()
+		case m.fn != nil:
+			out[m.name] = m.fn()
+		case m.hist != nil:
+			var cum int64
+			for i, b := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				out[bucketKey(m.name, b)] = float64(cum)
+			}
+			out[m.name+"_count"] = float64(m.hist.Count())
+			out[m.name+"_sum"] = m.hist.Sum()
+		}
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): TYPE lines, counters/gauges as single
+// samples, histograms with cumulative le buckets, +Inf, _sum and
+// _count. Registration order is preserved.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatSample(m.gauge.Value()))
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatSample(m.fn()))
+		case m.hist != nil:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			var cum int64
+			for i, b := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.hist.Count()); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.name, formatSample(m.hist.Sum()), m.name, m.hist.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterTracer installs live span-volume views of t (recorded and
+// dropped span counts) into the registry.
+func (r *Registry) RegisterTracer(t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	r.RegisterFunc("obs_trace_spans", func() float64 { return float64(t.Recorded()) })
+	r.RegisterFunc("obs_trace_dropped_spans", func() float64 { return float64(t.Dropped()) })
+}

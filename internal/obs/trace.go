@@ -1,0 +1,367 @@
+// Package obs is the repository's zero-dependency observability
+// layer: a low-overhead span tracer for the protocol simulators'
+// round phases and a flat metrics registry unifying the counters that
+// used to live scattered across transport.Stats, fed.Resilience,
+// gossip.Resilience and the parameter pool.
+//
+// The package is deliberately a leaf: it imports nothing from the
+// simulation packages, so fed, gossip, transport and experiments can
+// all depend on it without cycles. It is also deliberately OUTSIDE
+// the deterministic-package set (see internal/analysis/detpkg.go):
+// wall-clock reads are confined here, and the obsleak analyzer
+// enforces that no value produced by this package ever flows back
+// into deterministic round state — deterministic packages may hand
+// data *to* obs (record spans, register counters) and may hold
+// opaque obs tokens (Time, *Tracer, *Registry, ...), but may never
+// extract a non-obs value *from* it. That contract is what keeps all
+// golden hashes byte-identical with tracing and metrics enabled (see
+// OBSERVABILITY.md).
+//
+// All Tracer and Registry methods tolerate a nil receiver: a
+// simulation configured without observability pays one nil check per
+// instrumentation point and nothing else.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase labels one round phase of a protocol simulation.
+type Phase uint8
+
+const (
+	// PhaseTrain is a participant's local-training step.
+	PhaseTrain Phase = iota
+	// PhaseEncode is the server-side broadcast encode (fed) or a
+	// node's outgoing-payload construction (gossip).
+	PhaseEncode
+	// PhaseSend is a participant's upload/push through the transport.
+	PhaseSend
+	// PhaseAggregate is the server's (or a node's) model aggregation.
+	PhaseAggregate
+	// PhaseBroadcast is a participant's download of the round's
+	// global-model broadcast.
+	PhaseBroadcast
+	// PhaseEval is a round's utility evaluation sweep.
+	PhaseEval
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"train", "encode", "send", "aggregate", "broadcast", "eval",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Time is an opaque monotonic timestamp token issued by Tracer.Start.
+// Deterministic packages may hold and pass it back to the tracer but
+// can do nothing else with it — the obsleak analyzer rejects
+// conversions of obs types to non-obs types in those packages, so a
+// wall-clock reading can never leak into round state through it.
+type Time int64
+
+// RoundLevel is the participant value for spans that belong to the
+// round as a whole (broadcast encode, aggregation, evaluation) rather
+// than to one participant.
+const RoundLevel = -1
+
+// span is one recorded interval, relative to the tracer's epoch.
+type span struct {
+	start       int64 // nanoseconds since epoch
+	dur         int64 // nanoseconds
+	round       int32
+	participant int32
+	phase       Phase
+}
+
+// ring is one writer's bounded span buffer. Writers are usually
+// distinct goroutines (one per simulation worker), but nothing
+// prevents two simulations from sharing a ring index, so each ring
+// carries its own mutex; the common case is uncontended.
+type ring struct {
+	mu      sync.Mutex
+	spans   []span
+	next    int // overwrite cursor, meaningful once the ring is full
+	dropped int64
+}
+
+func (r *ring) record(s span, capacity int) {
+	r.mu.Lock()
+	if len(r.spans) < capacity {
+		r.spans = append(r.spans, s)
+	} else {
+		r.spans[r.next] = s
+		r.next++
+		if r.next == capacity {
+			r.next = 0
+		}
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the ring's live spans, oldest first.
+func (r *ring) snapshot() ([]span, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]span, 0, len(r.spans))
+	// next > 0 only after overwrites began, in which case spans[next]
+	// is the oldest live span; otherwise (filling, or the cursor
+	// exactly back at 0) index order is already oldest-first.
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out, r.dropped
+}
+
+// DefaultSpansPerRing is the per-ring span capacity NewTracer uses
+// when given 0: enough for every phase of a few thousand participant
+// rounds per worker before the ring starts dropping the oldest spans.
+const DefaultSpansPerRing = 1 << 14
+
+// Tracer records phase spans into per-worker ring buffers. The write
+// path does no allocation after a ring reaches capacity and consumes
+// no RNG; wall-clock reads happen only inside Start and Span. A nil
+// *Tracer is a valid disabled tracer: Start and Span return
+// immediately.
+type Tracer struct {
+	epoch    time.Time
+	capacity int
+
+	mu    sync.RWMutex
+	rings []*ring
+}
+
+// NewTracer returns a tracer with the given per-ring span capacity
+// (0 means DefaultSpansPerRing).
+func NewTracer(spansPerRing int) *Tracer {
+	if spansPerRing <= 0 {
+		spansPerRing = DefaultSpansPerRing
+	}
+	return &Tracer{epoch: time.Now(), capacity: spansPerRing}
+}
+
+// Start returns the current tracer time, to be passed to Span when
+// the phase completes. On a nil tracer it returns 0 without touching
+// the clock.
+func (t *Tracer) Start() Time {
+	if t == nil {
+		return 0
+	}
+	return Time(time.Since(t.epoch))
+}
+
+// Span records one completed phase interval on the given ring
+// (instrumentation passes its worker index; coordinators and helper
+// goroutines use indexes past the worker count — rings grow on
+// demand). participant is the client/node id, or RoundLevel for
+// round-scoped phases. No-op on a nil tracer.
+func (t *Tracer) Span(ringIdx int, phase Phase, round, participant int, start Time) {
+	if t == nil {
+		return
+	}
+	end := time.Since(t.epoch)
+	t.ring(ringIdx).record(span{
+		start:       int64(start),
+		dur:         int64(end) - int64(start),
+		round:       int32(round),
+		participant: int32(participant),
+		phase:       phase,
+	}, t.capacity)
+}
+
+func (t *Tracer) ring(i int) *ring {
+	if i < 0 {
+		i = 0
+	}
+	t.mu.RLock()
+	if i < len(t.rings) {
+		r := t.rings[i]
+		t.mu.RUnlock()
+		return r
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	for len(t.rings) <= i {
+		t.rings = append(t.rings, &ring{})
+	}
+	r := t.rings[i]
+	t.mu.Unlock()
+	return r
+}
+
+// SpanRecord is one exported span, in the tracer's epoch-relative
+// clock.
+type SpanRecord struct {
+	Phase       Phase
+	Round       int
+	Participant int // RoundLevel for round-scoped spans
+	Ring        int
+	Start       time.Duration
+	Dur         time.Duration
+}
+
+// Spans merges every ring's live spans, ordered by start time (ties
+// broken by ring index, so the merge is stable across calls).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	rings := append([]*ring(nil), t.rings...)
+	t.mu.RUnlock()
+	var out []SpanRecord
+	for ri, r := range rings {
+		snap, _ := r.snapshot()
+		for _, s := range snap {
+			out = append(out, SpanRecord{
+				Phase:       s.phase,
+				Round:       int(s.round),
+				Participant: int(s.participant),
+				Ring:        ri,
+				Start:       time.Duration(s.start),
+				Dur:         time.Duration(s.dur),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Ring < out[j].Ring
+	})
+	return out
+}
+
+// Dropped returns the total number of spans overwritten by ring
+// wrap-around (0 on a nil tracer).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	rings := append([]*ring(nil), t.rings...)
+	t.mu.RUnlock()
+	var total int64
+	for _, r := range rings {
+		_, d := r.snapshot()
+		total += d
+	}
+	return total
+}
+
+// Recorded returns the number of live (not yet overwritten) spans.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(len(t.Spans()))
+}
+
+// WriteJSONL writes the merged spans one JSON object per line:
+//
+//	{"phase":"train","round":3,"participant":17,"ring":2,"start_us":1042.7,"dur_us":311.0}
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, s := range t.Spans() {
+		line := struct {
+			Phase       string  `json:"phase"`
+			Round       int     `json:"round"`
+			Participant int     `json:"participant"`
+			Ring        int     `json:"ring"`
+			StartUS     float64 `json:"start_us"`
+			DurUS       float64 `json:"dur_us"`
+		}{
+			Phase:       s.Phase.String(),
+			Round:       s.Round,
+			Participant: s.Participant,
+			Ring:        s.Ring,
+			StartUS:     float64(s.Start) / float64(time.Microsecond),
+			DurUS:       float64(s.Dur) / float64(time.Microsecond),
+		}
+		b, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event object: a complete ("X") slice
+// with microsecond timestamps, pid 1 and one tid per participant
+// (tid 0 carries the round-level spans), so chrome://tracing and
+// Perfetto render a fed round as a per-participant timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the merged spans in Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "ciarec round"},
+	})
+	for _, s := range spans {
+		tid := 0
+		if s.Participant != RoundLevel {
+			tid = s.Participant + 1
+		}
+		events = append(events, chromeEvent{
+			Name: s.Phase.String(),
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"round": s.Round, "participant": s.Participant},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// WriteFile writes the trace to path, picking the format from the
+// extension: ".jsonl" gets one span per line, everything else the
+// Chrome trace_event JSON.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".jsonl") {
+		err = t.WriteJSONL(f)
+	} else {
+		err = t.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

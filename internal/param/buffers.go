@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // signature returns the structural key of the set: entry names and
@@ -44,6 +45,12 @@ func appendEntrySig(sig string, e Entry) string {
 type Buffers struct {
 	pools sync.Map // signature string → *sync.Pool of *Set
 
+	// hits counts pool fetches satisfied from recycled storage and
+	// misses fetches that fell through to a fresh allocation — the
+	// feed for the obs registry's param_pool_* views.
+	hits   atomic.Int64
+	misses atomic.Int64
+
 	// filtered caches CloneWithout signatures: a simulation filters the
 	// same structure with the same short drop list every message, and
 	// rebuilding the string each time would put an allocation back into
@@ -75,9 +82,11 @@ func (b *Buffers) Clone(src *Set) *Set {
 		return src.Clone()
 	}
 	if got, ok := b.pool(src.signature()).Get().(*Set); ok && got != nil {
+		b.hits.Add(1)
 		got.CopyFrom(src)
 		return got
 	}
+	b.misses.Add(1)
 	return src.Clone()
 }
 
@@ -91,8 +100,10 @@ func (b *Buffers) GetShaped(like *Set) *Set {
 		return nil
 	}
 	if got, ok := b.pool(like.signature()).Get().(*Set); ok && got != nil {
+		b.hits.Add(1)
 		return got
 	}
+	b.misses.Add(1)
 	return nil
 }
 
@@ -115,6 +126,7 @@ func (b *Buffers) CloneWithout(src *Set, drop ...string) *Set {
 	}
 	sig := b.filteredSig(src, drop, skip)
 	if got, ok := b.pool(sig).Get().(*Set); ok && got != nil {
+		b.hits.Add(1)
 		// The pooled set has exactly the filtered structure (pools are
 		// keyed by it), so values copy positionally.
 		j := 0
@@ -127,6 +139,7 @@ func (b *Buffers) CloneWithout(src *Set, drop ...string) *Set {
 		}
 		return got
 	}
+	b.misses.Add(1)
 	return src.Without(drop...)
 }
 
@@ -166,6 +179,16 @@ func (b *Buffers) filteredSig(src *Set, drop []string, skip func(string) bool) s
 		b.mu.Unlock()
 	}
 	return sig
+}
+
+// Stats returns the pool's cumulative fetch counts: hits served from
+// recycled storage and misses that allocated fresh sets. Zero on a
+// nil receiver.
+func (b *Buffers) Stats() (hits, misses int64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.hits.Load(), b.misses.Load()
 }
 
 // Put returns sets to the free-list for reuse. Nil sets are ignored.

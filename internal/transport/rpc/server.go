@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/collablearn/ciarec/internal/obs"
 )
 
 // ErrServerClosed is returned by Server.Close once the server has
@@ -67,6 +69,12 @@ type Server struct {
 	WriteTimeout  time.Duration
 	MaxBroadcasts int
 
+	// Trace, when non-nil, records one span per served request (send
+	// spans for MsgSend, broadcast spans for the broadcast ops), one
+	// tracer ring per connection. Write-only observability: spans never
+	// influence serving. Set between Listen and Start.
+	Trace *obs.Tracer
+
 	mu         sync.Mutex
 	conns      map[net.Conn]struct{}
 	bcasts     map[uint32][]byte
@@ -76,10 +84,11 @@ type Server struct {
 	draining   bool
 	started    bool
 
-	connErrs  atomic.Int64
-	idleDrops atomic.Int64
-	evictions atomic.Int64
-	wg        sync.WaitGroup
+	connErrs   atomic.Int64
+	idleDrops  atomic.Int64
+	evictions  atomic.Int64
+	traceRings atomic.Int64 // next per-connection tracer ring index
+	wg         sync.WaitGroup
 }
 
 // Listen binds a server to the address without accepting connections
@@ -269,6 +278,9 @@ func (s *Server) serveConn(c net.Conn) {
 	defer s.dropConn(c)
 	br := bufio.NewReaderSize(c, 32<<10)
 	bw := bufio.NewWriterSize(c, 32<<10)
+	// Each connection goroutine records into its own tracer ring so
+	// tracing never serializes concurrent connections.
+	connRing := int(s.traceRings.Add(1) - 1)
 	var f Frame
 	for {
 		// Re-arm the idle deadline under the server mutex so it cannot
@@ -297,6 +309,11 @@ func (s *Server) serveConn(c net.Conn) {
 		if s.WriteTimeout > 0 {
 			//lint:ignore detrand I/O deadline on a real socket: wall time bounds blocking and never enters payload bytes
 			c.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		reqStart := s.Trace.Start()
+		reqPhase := obs.PhaseBroadcast
+		if f.Type == MsgSend {
+			reqPhase = obs.PhaseSend
 		}
 		var err error
 		switch f.Type {
@@ -329,6 +346,7 @@ func (s *Server) serveConn(c net.Conn) {
 		if err == nil {
 			err = bw.Flush()
 		}
+		s.Trace.Span(connRing, reqPhase, int(f.Round), obs.RoundLevel, reqStart)
 		if err != nil {
 			if !s.isDraining() {
 				s.connError(fmt.Errorf("rpc: conn %s: write response: %w", c.RemoteAddr(), err))

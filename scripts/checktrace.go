@@ -1,0 +1,103 @@
+//go:build ignore
+
+// Checktrace validates observability artifacts from the obs smoke
+// run (scripts/obs_smoke.sh): each trace-file argument must be valid
+// Chrome trace_event JSON — the {"traceEvents": [...]} shape that
+// chrome://tracing and ui.perfetto.dev load — containing at least one
+// complete ("X") slice, and a file passed via -metrics must be a
+// non-empty JSON object of numeric samples.
+//
+// Usage:
+//
+//	go run scripts/checktrace.go [-metrics metrics.json] trace.json...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func checkTrace(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		return fmt.Errorf("%s: not valid trace_event JSON: %v", path, err)
+	}
+	slices := 0
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" {
+				return fmt.Errorf("%s: unnamed complete slice", path)
+			}
+			if ev.Dur < 0 || ev.Ts < 0 {
+				return fmt.Errorf("%s: slice %q has negative ts/dur (%v/%v)", path, ev.Name, ev.Ts, ev.Dur)
+			}
+			slices++
+		case "M":
+			// metadata (process/thread names): fine
+		default:
+			return fmt.Errorf("%s: unexpected event phase %q", path, ev.Ph)
+		}
+	}
+	if slices == 0 {
+		return fmt.Errorf("%s: no complete slices recorded", path)
+	}
+	fmt.Printf("checktrace: %s ok (%d slices, %d events)\n", path, slices, len(tf.TraceEvents))
+	return nil
+}
+
+func checkMetrics(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	samples := map[string]float64{}
+	if err := json.Unmarshal(blob, &samples); err != nil {
+		return fmt.Errorf("%s: not a JSON metrics object: %v", path, err)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("%s: empty metrics dump", path)
+	}
+	fmt.Printf("checktrace: %s ok (%d samples)\n", path, len(samples))
+	return nil
+}
+
+func main() {
+	metrics := flag.String("metrics", "", "also validate this end-of-run JSON metrics dump")
+	flag.Parse()
+	fail := false
+	for _, path := range flag.Args() {
+		if err := checkTrace(path); err != nil {
+			fmt.Fprintf(os.Stderr, "checktrace: %v\n", err)
+			fail = true
+		}
+	}
+	if *metrics != "" {
+		if err := checkMetrics(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "checktrace: %v\n", err)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
